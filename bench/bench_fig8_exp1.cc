@@ -1,0 +1,146 @@
+// Reproduces Experiment 1 / Figure 8 of the paper (Section 7.2.1):
+// non-redundant basis strategies on a 4-dimensional data cube with domain
+// size 16 per dimension (view element graph of 923,521 elements, 16
+// aggregated views).
+//
+// 100 trials; each trial draws a random access-probability vector over
+// the 16 aggregated views and evaluates the processing cost (Eq. 29 pair
+// model) of three strategies:
+//   [D] store the data cube only,
+//   [W] store the wavelet view element basis,
+//   [V] store the best non-redundant view element basis (Algorithm 1).
+//
+// The paper reports: [V] averages 53.8% of [D]'s cost, and [W] is worse
+// than both. We reproduce the ordering and report our measured ratios
+// (absolute per-trial values depend on the drawn frequencies).
+
+// After the cost-model trials, a few trials are re-run *executed*: the
+// selected bases are materialized over a real synthetic cube and every
+// queried view is actually assembled, verifying that the measured
+// operation counts respect the model ([D] exactly; [V] at or below its
+// pair-model prediction, since the executable planner uses the tighter
+// Procedure-3 tree accounting).
+
+#include <cstdio>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/graph.h"
+#include "cube/shape.h"
+#include "cube/synthetic.h"
+#include "select/algorithm1.h"
+#include "select/pair_cost.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 100;
+
+  auto shape_result = vecube::CubeShape::MakeSquare(4, 16);
+  if (!shape_result.ok()) return 1;
+  const vecube::CubeShape shape = *shape_result;
+
+  const vecube::ViewElementGraph graph(shape);
+  std::printf("Experiment 1 (Figure 8): non-redundant bases on a 4-D cube, "
+              "n = 16\n");
+  std::printf("view element graph: %llu elements, %llu aggregated views\n\n",
+              static_cast<unsigned long long>(graph.NumElements()),
+              static_cast<unsigned long long>(graph.NumAggregatedViews()));
+
+  const auto cube_set = vecube::CubeOnlySet(shape);
+  const auto wavelet_set = vecube::WaveletBasisSet(shape);
+
+  vecube::Rng rng(19980601);  // PODS'98 conference date as the seed
+
+  std::printf("%-6s %14s %14s %14s %8s\n", "trial", "[D] cube", "[W] wavelet",
+              "[V] Algorithm1", "V/D");
+  double sum_d = 0, sum_w = 0, sum_v = 0, sum_ratio = 0;
+  int v_best = 0, w_worst = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto population = vecube::RandomViewPopulation(shape, &rng);
+    if (!population.ok()) return 1;
+
+    const double cost_d =
+        vecube::PopulationPairCost(cube_set, *population, shape);
+    const double cost_w =
+        vecube::PopulationPairCost(wavelet_set, *population, shape);
+    auto selection = vecube::SelectMinCostBasis(shape, *population);
+    if (!selection.ok()) {
+      std::fprintf(stderr, "Algorithm 1 failed: %s\n",
+                   selection.status().ToString().c_str());
+      return 1;
+    }
+    const double cost_v = selection->predicted_cost;
+
+    sum_d += cost_d;
+    sum_w += cost_w;
+    sum_v += cost_v;
+    sum_ratio += cost_v / cost_d;
+    if (cost_v <= cost_d && cost_v <= cost_w) ++v_best;
+    if (cost_w >= cost_d) ++w_worst;
+
+    std::printf("%-6d %14.0f %14.0f %14.0f %7.1f%%\n", trial, cost_d, cost_w,
+                cost_v, 100.0 * cost_v / cost_d);
+  }
+
+  std::printf("\nAverages over %d trials:\n", trials);
+  std::printf("  [D] data cube only    : %14.0f\n", sum_d / trials);
+  std::printf("  [W] wavelet basis     : %14.0f\n", sum_w / trials);
+  std::printf("  [V] Algorithm 1 basis : %14.0f\n", sum_v / trials);
+  std::printf("  mean per-trial ratio [V]/[D]: %.1f%%  (paper: 53.8%%)\n",
+              100.0 * sum_ratio / trials);
+  std::printf("  [V] best of the three in %d/%d trials "
+              "(paper: guaranteed, superset argument)\n",
+              v_best, trials);
+  std::printf("  [W] >= [D] in %d/%d trials (paper: wavelet performs worse "
+              "than both)\n",
+              w_worst, trials);
+
+  // Executed cross-check on a real cube for a few trials.
+  const int executed_trials = trials < 3 ? trials : 3;
+  std::printf("\nExecuted cross-check (%d trials, real cube, measured "
+              "add/sub ops for one access of each view):\n",
+              executed_trials);
+  vecube::Rng data_rng(424242);
+  auto cube = vecube::UniformIntegerCube(shape, &data_rng);
+  if (!cube.ok()) return 1;
+  vecube::ElementComputer computer(shape, &*cube);
+  vecube::Rng exec_rng(19980601);  // fresh stream, same family of trials
+  bool executed_ok = true;
+  for (int trial = 0; trial < executed_trials; ++trial) {
+    auto population = vecube::RandomViewPopulation(shape, &exec_rng);
+    auto selection = vecube::SelectMinCostBasis(shape, *population);
+    if (!population.ok() || !selection.ok()) return 1;
+
+    auto cube_store = computer.Materialize(cube_set);
+    auto basis_store = computer.Materialize(selection->basis);
+    if (!cube_store.ok() || !basis_store.ok()) return 1;
+    vecube::AssemblyEngine d_engine(&*cube_store);
+    vecube::AssemblyEngine v_engine(&*basis_store);
+
+    double d_measured = 0, v_measured = 0;
+    for (const vecube::QuerySpec& q : population->queries()) {
+      vecube::OpCounter d_ops, v_ops;
+      auto a = d_engine.Assemble(q.view, &d_ops);
+      auto b = v_engine.Assemble(q.view, &v_ops);
+      if (!a.ok() || !b.ok() || !a->ApproxEquals(*b, 1e-6)) {
+        std::fprintf(stderr, "executed answers disagree!\n");
+        return 1;
+      }
+      d_measured += q.frequency * static_cast<double>(d_ops.adds);
+      v_measured += q.frequency * static_cast<double>(v_ops.adds);
+    }
+    const double d_predicted =
+        vecube::PopulationPairCost(cube_set, *population, shape);
+    const double v_predicted = selection->predicted_cost;
+    std::printf("  trial %d: [D] measured %10.0f (predicted %10.0f)   "
+                "[V] measured %10.0f (pair-model bound %10.0f)\n",
+                trial, d_measured, d_predicted, v_measured, v_predicted);
+    if (d_measured != d_predicted) executed_ok = false;
+    if (v_measured > v_predicted + 1e-6) executed_ok = false;
+  }
+  std::printf("  [D] measured == predicted and [V] measured <= pair bound: "
+              "%s\n", executed_ok ? "yes" : "NO");
+  return (v_best == trials && executed_ok) ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Kernel throughput: the Haar partial-aggregation pair and its synthesis
+// inverse (the building blocks of every view element operation), across
+// cube sizes and axis positions. Not a paper figure — an ablation that
+// documents the cost of the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "cube/shape.h"
+#include "cube/synthetic.h"
+#include "haar/cascade.h"
+#include "haar/transform.h"
+#include "util/rng.h"
+
+namespace {
+
+vecube::Tensor MakeCube(uint32_t d, uint32_t n, uint64_t seed) {
+  auto shape = vecube::CubeShape::MakeSquare(d, n);
+  vecube::Rng rng(seed);
+  auto cube = vecube::UniformIntegerCube(*shape, &rng);
+  return std::move(cube).value();
+}
+
+void BM_PartialSumInnermostAxis(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const vecube::Tensor cube = MakeCube(2, n, 1);
+  for (auto _ : state) {
+    auto out = vecube::PartialSum(cube, 1);
+    benchmark::DoNotOptimize(out->raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube.size()));
+}
+BENCHMARK(BM_PartialSumInnermostAxis)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PartialSumOutermostAxis(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const vecube::Tensor cube = MakeCube(2, n, 2);
+  for (auto _ : state) {
+    auto out = vecube::PartialSum(cube, 0);
+    benchmark::DoNotOptimize(out->raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube.size()));
+}
+BENCHMARK(BM_PartialSumOutermostAxis)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_PartialPairFused(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const vecube::Tensor cube = MakeCube(2, n, 3);
+  for (auto _ : state) {
+    vecube::Tensor p, r;
+    auto st = vecube::PartialPair(cube, 1, &p, &r);
+    benchmark::DoNotOptimize(p.raw());
+    benchmark::DoNotOptimize(r.raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube.size()));
+}
+BENCHMARK(BM_PartialPairFused)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SynthesizePair(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const vecube::Tensor cube = MakeCube(2, n, 4);
+  vecube::Tensor p, r;
+  auto st = vecube::PartialPair(cube, 1, &p, &r);
+  for (auto _ : state) {
+    auto out = vecube::SynthesizePair(p, r, 1);
+    benchmark::DoNotOptimize(out->raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube.size()));
+}
+BENCHMARK(BM_SynthesizePair)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TotalAggregation(benchmark::State& state) {
+  const uint32_t d = static_cast<uint32_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  const vecube::Tensor cube = MakeCube(d, n, 5);
+  for (auto _ : state) {
+    auto total = vecube::GrandTotal(cube);
+    benchmark::DoNotOptimize(*total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube.size()));
+}
+BENCHMARK(BM_TotalAggregation)
+    ->Args({2, 256})
+    ->Args({3, 64})
+    ->Args({4, 16})
+    ->Args({6, 8});
+
+void BM_FullWaveletDecomposition(benchmark::State& state) {
+  // Analysis of the whole cube into the wavelet basis (every block of the
+  // cascade computed once).
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto shape = vecube::CubeShape::MakeSquare(2, n);
+  vecube::Rng rng(6);
+  auto cube = vecube::UniformIntegerCube(*shape, &rng);
+  for (auto _ : state) {
+    vecube::Tensor low = *cube;
+    while (low.extent(0) > 1 || low.extent(1) > 1) {
+      for (uint32_t m = 0; m < 2; ++m) {
+        if (low.extent(m) < 2) continue;
+        vecube::Tensor p, r;
+        auto st = vecube::PartialPair(low, m, &p, &r);
+        benchmark::DoNotOptimize(r.raw());
+        low = std::move(p);
+      }
+    }
+    benchmark::DoNotOptimize(low.raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube->size()));
+}
+BENCHMARK(BM_FullWaveletDecomposition)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

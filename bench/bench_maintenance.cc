@@ -1,0 +1,88 @@
+// Maintenance ablation: incremental point-delta updates to a materialized
+// element store vs full rematerialization, across store kinds. The Haar
+// coefficients are ±1 and each element is touched in exactly one cell, so
+// a fact append costs O(#elements * d) regardless of cube volume.
+
+#include <benchmark/benchmark.h>
+
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/graph.h"
+#include "core/update.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Setup {
+  vecube::CubeShape shape;
+  vecube::Tensor cube;
+  vecube::ElementStore store;
+};
+
+Setup MakeSetup(const std::vector<vecube::ElementId>& set) {
+  auto shape = vecube::CubeShape::MakeSquare(3, 32);
+  vecube::Rng rng(1);
+  auto cube = vecube::UniformIntegerCube(*shape, &rng);
+  vecube::ElementComputer computer(*shape, &*cube);
+  auto store = computer.Materialize(set);
+  return Setup{*shape, std::move(cube).value(), std::move(store).value()};
+}
+
+void RunPointDeltas(benchmark::State& state,
+                    const std::vector<vecube::ElementId>& set) {
+  Setup setup = MakeSetup(set);
+  vecube::Rng rng(2);
+  for (auto _ : state) {
+    std::vector<uint32_t> coords(3);
+    for (uint32_t m = 0; m < 3; ++m) {
+      coords[m] = static_cast<uint32_t>(rng.UniformU64(32));
+    }
+    auto st = vecube::ApplyPointDelta(&setup.store, coords, 1.0);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.counters["elements"] = static_cast<double>(setup.store.size());
+}
+
+void BM_PointDeltaCubeOnly(benchmark::State& state) {
+  auto shape = vecube::CubeShape::MakeSquare(3, 32);
+  RunPointDeltas(state, vecube::CubeOnlySet(*shape));
+}
+BENCHMARK(BM_PointDeltaCubeOnly);
+
+void BM_PointDeltaWaveletBasis(benchmark::State& state) {
+  auto shape = vecube::CubeShape::MakeSquare(3, 32);
+  RunPointDeltas(state, vecube::WaveletBasisSet(*shape));
+}
+BENCHMARK(BM_PointDeltaWaveletBasis);
+
+void BM_PointDeltaViewHierarchy(benchmark::State& state) {
+  auto shape = vecube::CubeShape::MakeSquare(3, 32);
+  RunPointDeltas(state, vecube::ViewHierarchySet(*shape));
+}
+BENCHMARK(BM_PointDeltaViewHierarchy);
+
+void BM_PointDeltaIntermediatePyramid(benchmark::State& state) {
+  auto shape = vecube::CubeShape::MakeSquare(3, 32);
+  RunPointDeltas(state,
+                 vecube::ViewElementGraph(*shape).IntermediateElements());
+}
+BENCHMARK(BM_PointDeltaIntermediatePyramid);
+
+void BM_FullRematerializeWaveletBasis(benchmark::State& state) {
+  // The alternative to the incremental path: recompute the whole basis.
+  auto shape = vecube::CubeShape::MakeSquare(3, 32);
+  vecube::Rng rng(3);
+  auto cube = vecube::UniformIntegerCube(*shape, &rng);
+  const auto basis = vecube::WaveletBasisSet(*shape);
+  for (auto _ : state) {
+    vecube::ElementComputer computer(*shape, &*cube);
+    auto store = computer.Materialize(basis);
+    benchmark::DoNotOptimize(store->StorageCells());
+  }
+}
+BENCHMARK(BM_FullRematerializeWaveletBasis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Range-aggregation ablation (Section 6 made executable): dyadic
+// decomposition over the intermediate-element pyramid vs naive scans vs
+// the prefix-sum cube comparator, across range sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/computer.h"
+#include "core/graph.h"
+#include "cube/synthetic.h"
+#include "range/prefix_baseline.h"
+#include "range/range_engine.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Setup {
+  vecube::CubeShape shape;
+  vecube::Tensor cube;
+  vecube::ElementStore pyramid;
+};
+
+Setup MakeSetup(uint32_t n) {
+  auto shape = vecube::CubeShape::MakeSquare(2, n);
+  vecube::Rng rng(11);
+  auto cube = vecube::UniformIntegerCube(*shape, &rng);
+  vecube::ElementComputer computer(*shape, &*cube);
+  auto store = computer.Materialize(
+      vecube::ViewElementGraph(*shape).IntermediateElements());
+  return Setup{*shape, std::move(cube).value(), std::move(store).value()};
+}
+
+vecube::RangeSpec RandomRange(const vecube::CubeShape& shape,
+                              vecube::Rng* rng) {
+  std::vector<uint32_t> start(shape.ndim()), width(shape.ndim());
+  for (uint32_t m = 0; m < shape.ndim(); ++m) {
+    start[m] = static_cast<uint32_t>(rng->UniformU64(shape.extent(m)));
+    width[m] = 1 + static_cast<uint32_t>(
+                       rng->UniformU64(shape.extent(m) - start[m]));
+  }
+  return *vecube::RangeSpec::Make(start, width, shape);
+}
+
+void BM_RangeSumDyadicPyramid(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<uint32_t>(state.range(0)));
+  vecube::RangeEngine engine(&setup.pyramid,
+                             vecube::MissingElementPolicy::kError);
+  vecube::Rng rng(21);
+  for (auto _ : state) {
+    const auto range = RandomRange(setup.shape, &rng);
+    auto sum = engine.RangeSum(range);
+    benchmark::DoNotOptimize(*sum);
+  }
+}
+BENCHMARK(BM_RangeSumDyadicPyramid)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RangeSumNaiveScan(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<uint32_t>(state.range(0)));
+  vecube::Rng rng(21);  // identical query stream
+  for (auto _ : state) {
+    const auto range = RandomRange(setup.shape, &rng);
+    auto sum = vecube::NaiveRangeSum(setup.cube, setup.shape, range);
+    benchmark::DoNotOptimize(*sum);
+  }
+}
+BENCHMARK(BM_RangeSumNaiveScan)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RangeSumPrefixCube(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<uint32_t>(state.range(0)));
+  auto prefix = vecube::PrefixSumCube::Build(setup.shape, setup.cube);
+  vecube::Rng rng(21);
+  for (auto _ : state) {
+    const auto range = RandomRange(setup.shape, &rng);
+    auto sum = prefix->RangeSum(range);
+    benchmark::DoNotOptimize(*sum);
+  }
+}
+BENCHMARK(BM_RangeSumPrefixCube)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RangeSumAligned(benchmark::State& state) {
+  // Power-of-two aligned ranges: the Eq. 40 fast path, one cell read per
+  // dimension combination.
+  Setup setup = MakeSetup(256);
+  vecube::RangeEngine engine(&setup.pyramid,
+                             vecube::MissingElementPolicy::kError);
+  vecube::Rng rng(22);
+  for (auto _ : state) {
+    const uint32_t level = 1 + static_cast<uint32_t>(rng.UniformU64(7));
+    const uint32_t size = 1u << level;
+    std::vector<uint32_t> start(2), width(2, size);
+    for (uint32_t m = 0; m < 2; ++m) {
+      start[m] = size * static_cast<uint32_t>(rng.UniformU64(256 / size));
+    }
+    auto range = vecube::RangeSpec::Make(start, width, setup.shape);
+    auto sum = engine.RangeSum(*range);
+    benchmark::DoNotOptimize(*sum);
+  }
+}
+BENCHMARK(BM_RangeSumAligned);
+
+void BM_PyramidConstruction(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto shape = vecube::CubeShape::MakeSquare(2, n);
+  vecube::Rng rng(23);
+  auto cube = vecube::UniformIntegerCube(*shape, &rng);
+  for (auto _ : state) {
+    vecube::ElementComputer computer(*shape, &*cube);
+    auto store = computer.Materialize(
+        vecube::ViewElementGraph(*shape).IntermediateElements());
+    benchmark::DoNotOptimize(store->StorageCells());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cube->size()));
+}
+BENCHMARK(BM_PyramidConstruction)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

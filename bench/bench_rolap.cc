@@ -1,0 +1,88 @@
+// MOLAP-vs-ROLAP ablation, the contrast the paper's introduction draws:
+// answering aggregated views by assembling materialized view elements vs
+// re-scanning the fact relation with a hash GROUP BY each time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/assembly.h"
+#include "core/computer.h"
+#include "cube/cube_builder.h"
+#include "cube/synthetic.h"
+#include "rolap/group_by.h"
+#include "select/algorithm1.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+namespace {
+
+struct Setup {
+  vecube::CubeShape shape;
+  vecube::Relation relation;
+  vecube::Tensor cube;
+  vecube::QueryPopulation population;
+};
+
+Setup MakeSetup(uint64_t rows) {
+  auto shape = vecube::CubeShape::Make({16, 8, 32});
+  vecube::Rng rng(5);
+  auto relation = vecube::SyntheticSalesRelation(*shape, &rng, rows, 1.1);
+  auto built = vecube::CubeBuilder::Build(*relation, *shape);
+  vecube::Rng prng(6);
+  auto population = vecube::ZipfViewPopulation(*shape, &prng, 1.2);
+  return Setup{*shape, std::move(relation).value(), std::move(built->cube),
+               std::move(population).value()};
+}
+
+void BM_RolapGroupByPerView(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<uint64_t>(state.range(0)));
+  vecube::Rng rng(7);
+  for (auto _ : state) {
+    const vecube::ElementId& view = setup.population.Sample(&rng);
+    uint32_t mask = 0;
+    for (uint32_t m = 0; m < setup.shape.ndim(); ++m) {
+      if (view.dim(m).level > 0) mask |= 1u << m;
+    }
+    auto out = vecube::GroupBySum(setup.relation, setup.shape, mask);
+    benchmark::DoNotOptimize(out->raw());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(setup.relation.num_rows()));
+}
+BENCHMARK(BM_RolapGroupByPerView)->Arg(10000)->Arg(100000);
+
+void BM_MolapAssemblyPerView(benchmark::State& state) {
+  Setup setup = MakeSetup(static_cast<uint64_t>(state.range(0)));
+  auto selection = vecube::SelectMinCostBasis(setup.shape, setup.population);
+  vecube::ElementComputer computer(setup.shape, &setup.cube);
+  auto store = computer.Materialize(selection->basis);
+  vecube::AssemblyEngine engine(&*store);
+  vecube::Rng rng(7);
+  for (auto _ : state) {
+    const vecube::ElementId& view = setup.population.Sample(&rng);
+    auto out = engine.Assemble(view);
+    benchmark::DoNotOptimize(out->raw());
+  }
+}
+BENCHMARK(BM_MolapAssemblyPerView)->Arg(10000)->Arg(100000);
+
+void BM_RolapRangeScan(benchmark::State& state) {
+  Setup setup = MakeSetup(100000);
+  vecube::Rng rng(8);
+  for (auto _ : state) {
+    std::vector<uint32_t> start(3), width(3);
+    for (uint32_t m = 0; m < 3; ++m) {
+      start[m] =
+          static_cast<uint32_t>(rng.UniformU64(setup.shape.extent(m)));
+      width[m] = 1 + static_cast<uint32_t>(
+                         rng.UniformU64(setup.shape.extent(m) - start[m]));
+    }
+    auto sum =
+        vecube::ScanRangeSum(setup.relation, setup.shape, start, width);
+    benchmark::DoNotOptimize(*sum);
+  }
+}
+BENCHMARK(BM_RolapRangeScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

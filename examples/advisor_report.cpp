@@ -1,0 +1,59 @@
+// advisor_report: what-if storage/performance analysis for a DBA.
+//
+// Given a cube and an anticipated workload, sweep storage budgets and
+// print the configurations the optimizer would pick at each, alongside
+// the classical alternatives — including the HRU view-lattice greedy that
+// the paper positions view elements against.
+
+#include <cstdio>
+
+#include "select/advisor.h"
+#include "select/lattice.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+using namespace vecube;  // NOLINT — example brevity
+
+int main() {
+  auto shape = CubeShape::Make({16, 16, 4});
+  if (!shape.ok()) return 1;
+  Rng rng(2026);
+  auto population = ZipfViewPopulation(*shape, &rng, 1.1);
+  if (!population.ok()) return 1;
+
+  std::printf("Advisor report for a %s cube (Vol = %llu cells)\n",
+              shape->ToString().c_str(),
+              static_cast<unsigned long long>(shape->volume()));
+  std::printf("Workload: Zipf(1.1) over the %zu aggregated views\n\n",
+              population->size());
+
+  AdvisorOptions options;
+  const uint64_t vol = shape->volume();
+  options.budgets = {vol + vol / 8, vol + vol / 4, vol + vol / 2, 2 * vol};
+  auto report = AdviseConfiguration(*shape, *population, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+
+  // The HRU lattice view for contrast (uniform load, linear cost model).
+  std::printf("HRU view-lattice greedy (classical comparator):\n");
+  for (uint32_t k : {1u, 2u, 4u}) {
+    LatticeGreedyOptions lattice_options;
+    lattice_options.max_views = k;
+    lattice_options.benefit_per_unit_space = true;
+    auto lattice = HruGreedySelect(*shape, lattice_options);
+    if (!lattice.ok()) return 1;
+    std::printf("  k=%u views: total scan cost %llu, extra storage %llu "
+                "cells (always in addition to the cube)\n",
+                k, static_cast<unsigned long long>(lattice->total_cost),
+                static_cast<unsigned long long>(
+                    lattice->extra_storage_cells));
+  }
+  std::printf("\nNote the structural contrast: every lattice configuration "
+              "is expansive (cube + views), while the element basis covers "
+              "the whole cube in exactly Vol(A) cells.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// packet_compression: wavelet-packet bases as sparse-cube compressors.
+//
+// Section 4.3 observes that "by selecting the bases that best isolate the
+// non-zero data from the zero areas of the data cube, the view element
+// wavelet packet basis can represent the data cube in a compact form",
+// but leaves it unexplored. This example runs the Coifman-Wickerhauser
+// best-basis search over the view element graph on cubes of varying
+// sparsity and smoothness, and compares the number of significant
+// coefficients against raw non-zeros and the fixed wavelet basis — while
+// verifying the chosen basis still reconstructs the cube exactly.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/synthetic.h"
+#include "select/best_basis.h"
+#include "util/rng.h"
+
+using namespace vecube;  // NOLINT — example brevity
+
+namespace {
+
+uint64_t CountAbove(const Tensor& t, double threshold) {
+  uint64_t n = 0;
+  for (uint64_t i = 0; i < t.size(); ++i) {
+    if (std::fabs(t[i]) > threshold) ++n;
+  }
+  return n;
+}
+
+void Report(const char* name, const CubeShape& shape, const Tensor& cube,
+            double threshold) {
+  auto best = SelectCompressionBasis(shape, cube, threshold);
+  if (!best.ok()) {
+    std::fprintf(stderr, "best-basis failed: %s\n",
+                 best.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  // Fixed wavelet basis comparator: count significant coefficients.
+  ElementComputer computer(shape, &cube);
+  uint64_t wavelet_significant = 0;
+  for (const ElementId& id : WaveletBasisSet(shape)) {
+    auto data = computer.Compute(id);
+    wavelet_significant += CountAbove(*data, threshold);
+  }
+
+  // Verify exact reconstruction from the selected basis.
+  auto store = computer.Materialize(best->basis);
+  AssemblyEngine engine(&*store);
+  auto back = engine.Assemble(ElementId::Root(shape.ndim()));
+  const bool exact = back.ok() && back->ApproxEquals(cube, 1e-9);
+
+  std::printf("%-26s %10llu %12llu %12llu %9zu   %s\n", name,
+              static_cast<unsigned long long>(best->cube_nonzeros),
+              static_cast<unsigned long long>(wavelet_significant),
+              static_cast<unsigned long long>(best->significant_coefficients),
+              best->basis.size(), exact ? "exact" : "BROKEN");
+}
+
+}  // namespace
+
+int main() {
+  auto shape = CubeShape::Make({32, 32});
+  if (!shape.ok()) return 1;
+  Rng rng(123);
+
+  std::printf("Wavelet-packet compression of 32x32 cubes "
+              "(threshold |c| > 0.5):\n\n");
+  std::printf("%-26s %10s %12s %12s %9s   %s\n", "cube", "nonzeros",
+              "wavelet", "best packet", "elements", "reconstruction");
+  std::printf("--------------------------------------------------------------"
+              "--------------------\n");
+
+  auto sparse = SparseRandomCube(*shape, &rng, 0.03, 1, 9);
+  Report("sparse (3% random)", *shape, *sparse, 0.5);
+
+  auto clustered = ClusteredCube(*shape, &rng, 2, 2.5, 40.0);
+  Report("clustered (2 blobs)", *shape, *clustered, 0.5);
+
+  auto constant =
+      Tensor::FromData(std::vector<uint32_t>{32, 32},
+                       std::vector<double>(1024, 7.0));
+  Report("constant", *shape, *constant, 0.5);
+
+  auto dense = UniformIntegerCube(*shape, &rng, 1, 9);
+  Report("dense uniform", *shape, *dense, 0.5);
+
+  std::printf("\nThe adaptive packet basis never stores more significant "
+              "coefficients than the raw cube or the fixed wavelet basis, "
+              "and smooth/clustered data collapses dramatically.\n");
+  return 0;
+}

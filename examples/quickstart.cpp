@@ -1,0 +1,107 @@
+// Quickstart: the vecube pipeline in one file.
+//
+//   1. Load a fact table (Relation) and build a dense SUM data cube.
+//   2. Describe the expected query workload over aggregated views.
+//   3. Select the optimal non-redundant view element basis (Algorithm 1)
+//      and materialize it — same storage as the cube, less work per query.
+//   4. Assemble views dynamically and compare the measured operation
+//      counts against serving everything from the raw cube.
+
+#include <cstdio>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/cube_builder.h"
+#include "select/algorithm1.h"
+#include "workload/population.h"
+
+using namespace vecube;  // NOLINT — example brevity
+
+int main() {
+  // --- 1. A tiny fact table: (product, region) -> revenue. ------------
+  auto relation = Relation::Make({"product", "region"}, {"revenue"});
+  if (!relation.ok()) return 1;
+  const struct {
+    int64_t product, region;
+    double revenue;
+  } facts[] = {
+      {0, 0, 120}, {0, 1, 80},  {1, 0, 200}, {1, 3, 40},
+      {2, 2, 310}, {2, 3, 90},  {3, 1, 150}, {3, 2, 60},
+      {0, 0, 30},  {1, 0, 100}, {2, 2, 45},  {3, 3, 75},
+  };
+  for (const auto& f : facts) {
+    if (!relation->Append({f.product, f.region}, {f.revenue}).ok()) return 1;
+  }
+
+  auto shape = CubeShape::Make({4, 4});  // 4 products x 4 regions
+  auto built = CubeBuilder::Build(*relation, *shape);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Built a %s data cube from %llu facts; total revenue %.0f\n",
+              shape->ToString().c_str(),
+              static_cast<unsigned long long>(relation->num_rows()),
+              built->cube.Total());
+
+  // --- 2. The workload: mostly per-product and grand totals. ----------
+  auto by_product = ElementId::AggregatedView(0b10, *shape);  // sum regions
+  auto by_region = ElementId::AggregatedView(0b01, *shape);   // sum products
+  auto grand = ElementId::AggregatedView(0b11, *shape);
+  auto population = FixedPopulation(
+      {{*by_product, 0.6}, {*grand, 0.3}, {*by_region, 0.1}}, *shape);
+  if (!population.ok()) return 1;
+
+  // --- 3. Select and materialize the optimal element basis. -----------
+  auto selection = SelectMinCostBasis(*shape, *population);
+  if (!selection.ok()) return 1;
+  std::printf("\nAlgorithm 1 selected %zu view elements "
+              "(predicted cost %.1f ops/query):\n",
+              selection->basis.size(), selection->predicted_cost);
+  for (const ElementId& id : selection->basis) {
+    std::printf("  %s  vol=%llu%s\n", id.ToString().c_str(),
+                static_cast<unsigned long long>(id.DataVolume(*shape)),
+                id.IsAggregatedView(*shape) ? "  (aggregated view)" : "");
+  }
+
+  ElementComputer computer(*shape, &built->cube);
+  auto store = computer.Materialize(selection->basis);
+  if (!store.ok()) return 1;
+  std::printf("Materialized store: %llu cells (cube itself: %llu)\n",
+              static_cast<unsigned long long>(store->StorageCells()),
+              static_cast<unsigned long long>(shape->volume()));
+
+  // --- 4. Assemble views and compare measured work. --------------------
+  auto cube_store = computer.Materialize(CubeOnlySet(*shape));
+  AssemblyEngine tuned(&*store), baseline(&*cube_store);
+
+  std::printf("\n%-22s %-16s %-16s\n", "query", "ops from basis",
+              "ops from cube");
+  for (const auto& [name, view] :
+       {std::pair{"revenue by product", *by_product},
+        std::pair{"revenue by region", *by_region},
+        std::pair{"grand total", *grand}}) {
+    OpCounter tuned_ops, base_ops;
+    auto a = tuned.Assemble(view, &tuned_ops);
+    auto b = baseline.Assemble(view, &base_ops);
+    if (!a.ok() || !b.ok()) return 1;
+    if (!a->ApproxEquals(*b, 1e-9)) {
+      std::fprintf(stderr, "answers disagree!\n");
+      return 1;
+    }
+    std::printf("%-22s %-16llu %-16llu\n", name,
+                static_cast<unsigned long long>(tuned_ops.adds),
+                static_cast<unsigned long long>(base_ops.adds));
+  }
+
+  // Show one actual answer.
+  auto answer = tuned.Assemble(*by_product);
+  std::printf("\nRevenue by product: ");
+  for (uint32_t p = 0; p < 4; ++p) {
+    std::printf("P%u=%.0f ", p, answer->At({p, 0}));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "api/session.h"
+
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/update.h"
+#include "select/algorithm1.h"
+#include "select/algorithm2.h"
+#include "util/logging.h"
+
+namespace vecube {
+
+OlapSession::OlapSession(CubeShape shape, Tensor cube, Options options)
+    : shape_(std::move(shape)),
+      cube_(std::move(cube)),
+      options_(options),
+      store_(shape_),
+      tracker_(options.access_decay) {}
+
+Result<std::unique_ptr<OlapSession>> OlapSession::FromCube(
+    const CubeShape& shape, Tensor cube, Options options) {
+  if (cube.extents() != shape.extents()) {
+    return Status::InvalidArgument("cube extents do not match shape");
+  }
+  if (options.access_decay <= 0.0 || options.access_decay > 1.0) {
+    return Status::InvalidArgument("access_decay must be in (0, 1]");
+  }
+  std::unique_ptr<OlapSession> session(
+      new OlapSession(shape, std::move(cube), options));
+  VECUBE_RETURN_NOT_OK(
+      session->store_.Put(ElementId::Root(shape.ndim()), session->cube_));
+  if (options.maintain_count_cube) {
+    // Without a relation the per-cell record counts are unknown; start an
+    // empty COUNT side that AddFact() maintains going forward.
+    Tensor counts;
+    VECUBE_ASSIGN_OR_RETURN(counts, Tensor::Zeros(shape.extents()));
+    session->count_cube_ = std::move(counts);
+    ElementStore count_store(shape);
+    VECUBE_RETURN_NOT_OK(count_store.Put(ElementId::Root(shape.ndim()),
+                                         *session->count_cube_));
+    session->count_store_ = std::move(count_store);
+  }
+  session->RebuildEngines();
+  return session;
+}
+
+Result<std::unique_ptr<OlapSession>> OlapSession::FromRelation(
+    const Relation& relation, const CubeShape& shape,
+    const CubeBuildOptions& build_options, Options options) {
+  BuiltCube built;
+  VECUBE_ASSIGN_OR_RETURN(built,
+                          CubeBuilder::Build(relation, shape, build_options));
+  std::unique_ptr<OlapSession> session;
+  VECUBE_ASSIGN_OR_RETURN(
+      session, FromCube(shape, std::move(built.cube), options));
+  if (options.maintain_count_cube) {
+    CubeBuildOptions count_options = build_options;
+    count_options.count_instead_of_sum = true;
+    BuiltCube counts;
+    VECUBE_ASSIGN_OR_RETURN(
+        counts, CubeBuilder::Build(relation, shape, count_options));
+    session->count_cube_ = std::move(counts.cube);
+    ElementStore count_store(shape);
+    VECUBE_RETURN_NOT_OK(count_store.Put(ElementId::Root(shape.ndim()),
+                                         *session->count_cube_));
+    session->count_store_ = std::move(count_store);
+    session->RebuildEngines();
+  }
+  return session;
+}
+
+void OlapSession::RebuildEngines() {
+  engine_ = std::make_unique<AssemblyEngine>(&store_);
+  range_engine_ = std::make_unique<RangeEngine>(
+      &store_, MissingElementPolicy::kAssemble);
+  if (count_store_.has_value()) {
+    count_engine_ = std::make_unique<AssemblyEngine>(&*count_store_);
+  }
+}
+
+Status OlapSession::DeclareWorkload(QueryPopulation population) {
+  for (const QuerySpec& q : population.queries()) {
+    ElementId checked;
+    VECUBE_ASSIGN_OR_RETURN(checked,
+                            ElementId::Make(q.view.codes(), shape_));
+  }
+  declared_workload_ = std::move(population);
+  return Status::OK();
+}
+
+Status OlapSession::Optimize() {
+  QueryPopulation population;
+  if (declared_workload_.has_value()) {
+    population = *declared_workload_;
+  } else if (options_.track_accesses && tracker_.total_accesses() > 0) {
+    VECUBE_ASSIGN_OR_RETURN(
+        population, FixedPopulation(tracker_.Distribution(), shape_));
+  } else {
+    return Status::FailedPrecondition(
+        "no workload declared and no queries observed yet");
+  }
+
+  BasisSelection selection;
+  VECUBE_ASSIGN_OR_RETURN(selection, SelectMinCostBasis(shape_, population));
+  std::vector<ElementId> target_set = selection.basis;
+
+  const uint64_t budget =
+      StorageVolume(target_set, shape_) + options_.redundancy_budget_cells;
+  if (options_.redundancy_budget_cells > 0) {
+    GreedyOptions greedy;
+    greedy.storage_target_cells = budget;
+    greedy.pool = CandidatePool::kAggregatedViews;
+    std::vector<GreedyStep> frontier;
+    VECUBE_ASSIGN_OR_RETURN(
+        frontier, GreedySelect(shape_, population, target_set, greedy));
+    target_set = frontier.back().selected;
+  }
+
+  // Materialize the new set from the cube (shared-prefix cascades).
+  ElementComputer computer(shape_, &cube_);
+  ElementStore next(shape_);
+  VECUBE_ASSIGN_OR_RETURN(next, computer.Materialize(target_set));
+  store_ = std::move(next);
+  if (count_cube_.has_value()) {
+    // The COUNT side mirrors the SUM side's element set.
+    ElementComputer count_computer(shape_, &*count_cube_);
+    ElementStore next_counts(shape_);
+    VECUBE_ASSIGN_OR_RETURN(next_counts,
+                            count_computer.Materialize(target_set));
+    count_store_ = std::move(next_counts);
+  }
+  RebuildEngines();
+  ++stats_.optimizations;
+  return Status::OK();
+}
+
+Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
+                            double amount) {
+  if (coords.size() != shape_.ndim()) {
+    return Status::InvalidArgument("coordinate arity mismatch");
+  }
+  for (uint32_t m = 0; m < shape_.ndim(); ++m) {
+    if (coords[m] >= shape_.extent(m)) {
+      return Status::OutOfRange("coordinate outside cube extent");
+    }
+  }
+  cube_[cube_.FlatIndex(coords)] += amount;
+  VECUBE_RETURN_NOT_OK(ApplyPointDelta(&store_, coords, amount));
+  if (count_cube_.has_value()) {
+    (*count_cube_)[count_cube_->FlatIndex(coords)] += 1.0;
+    VECUBE_RETURN_NOT_OK(ApplyPointDelta(&*count_store_, coords, 1.0));
+  }
+  // Element data changed in place; plans (which depend only on which
+  // elements exist) remain valid, so no engine invalidation is needed.
+  return Status::OK();
+}
+
+Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask) {
+  if (!count_store_.has_value()) {
+    return Status::FailedPrecondition(
+        "session was created without maintain_count_cube");
+  }
+  ElementId view;
+  VECUBE_ASSIGN_OR_RETURN(view,
+                          ElementId::AggregatedView(aggregated_mask, shape_));
+  OpCounter ops;
+  Tensor sums, counts;
+  VECUBE_ASSIGN_OR_RETURN(sums, engine_->Assemble(view, &ops));
+  VECUBE_ASSIGN_OR_RETURN(counts, count_engine_->Assemble(view, &ops));
+  ++stats_.queries;
+  stats_.assembly_ops += ops.adds;
+  if (options_.track_accesses) tracker_.Record(view);
+  Tensor avg = sums;
+  for (uint64_t i = 0; i < avg.size(); ++i) {
+    avg[i] = counts[i] > 0.0 ? sums[i] / counts[i] : 0.0;
+  }
+  return avg;
+}
+
+Result<Tensor> OlapSession::ViewByMask(uint32_t aggregated_mask) {
+  ElementId view;
+  VECUBE_ASSIGN_OR_RETURN(view,
+                          ElementId::AggregatedView(aggregated_mask, shape_));
+  return Element(view);
+}
+
+Result<Tensor> OlapSession::Element(const ElementId& id) {
+  OpCounter ops;
+  Tensor answer;
+  VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(id, &ops));
+  ++stats_.queries;
+  stats_.assembly_ops += ops.adds;
+  if (options_.track_accesses) tracker_.Record(id);
+  return answer;
+}
+
+Result<double> OlapSession::RangeSum(const RangeSpec& range) {
+  RangeQueryStats range_stats;
+  double sum;
+  VECUBE_ASSIGN_OR_RETURN(sum, range_engine_->RangeSum(range, &range_stats));
+  ++stats_.range_queries;
+  stats_.range_cell_reads += range_stats.cell_reads;
+  stats_.assembly_ops += range_stats.assembly_ops;
+  return sum;
+}
+
+}  // namespace vecube

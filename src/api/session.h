@@ -1,0 +1,127 @@
+// OlapSession: the one-stop public API.
+//
+// Wraps the full pipeline — cube construction, workload-driven view
+// element selection (Algorithms 1 and 2), materialization, dynamic
+// assembly, and range aggregation — behind a single object with sane
+// defaults, for applications that do not need to compose the lower-level
+// pieces themselves.
+//
+//   auto session = OlapSession::FromRelation(relation, shape);
+//   session->DeclareWorkload(population);   // or just start querying
+//   session->Optimize();                    // select + materialize
+//   auto view = session->ViewByMask(0b101);
+//   auto sum  = session->RangeSum(range);
+
+#ifndef VECUBE_API_SESSION_H_
+#define VECUBE_API_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/store.h"
+#include "core/tracker.h"
+#include "cube/cube_builder.h"
+#include "cube/relation.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "range/range_engine.h"
+#include "util/result.h"
+#include "workload/population.h"
+
+namespace vecube {
+
+/// Cumulative session accounting.
+struct SessionStats {
+  uint64_t queries = 0;
+  uint64_t assembly_ops = 0;       ///< add/sub operations across queries
+  uint64_t range_queries = 0;
+  uint64_t range_cell_reads = 0;
+  uint64_t optimizations = 0;      ///< times Optimize() rebuilt the store
+};
+
+/// Session construction options.
+struct OlapSessionOptions {
+  /// Extra storage (cells) the optimizer may spend on redundant
+  /// elements beyond the non-expansive basis; 0 = non-expansive only.
+  uint64_t redundancy_budget_cells = 0;
+  /// Record queries so Optimize() can run against observed traffic when
+  /// no workload was declared.
+  bool track_accesses = true;
+  /// Exponential decay of the access history.
+  double access_decay = 0.98;
+  /// Maintain a parallel COUNT cube/store so AvgByMask() is available.
+  bool maintain_count_cube = false;
+};
+
+class OlapSession {
+ public:
+  using Options = OlapSessionOptions;
+
+  /// Starts a session over an existing cube tensor (copied in).
+  static Result<std::unique_ptr<OlapSession>> FromCube(const CubeShape& shape,
+                                                       Tensor cube,
+                                                       Options options = {});
+
+  /// Builds the SUM cube from a relation first (see CubeBuilder).
+  static Result<std::unique_ptr<OlapSession>> FromRelation(
+      const Relation& relation, const CubeShape& shape,
+      const CubeBuildOptions& build_options = {}, Options options = {});
+
+  /// Declares the expected query distribution; used by Optimize().
+  Status DeclareWorkload(QueryPopulation population);
+
+  /// Selects the minimum-cost element set for the declared (or observed)
+  /// workload — Algorithm 1, plus Algorithm 2 up to the redundancy budget
+  /// — and materializes it. Without any workload information this is an
+  /// error; the session serves queries from the raw cube until then.
+  Status Optimize();
+
+  /// Appends one fact: cube[coords] += amount, with every materialized
+  /// element (and the COUNT side, if enabled) updated incrementally in
+  /// O(#elements * d) — no rematerialization.
+  Status AddFact(const std::vector<uint32_t>& coords, double amount);
+
+  /// Aggregated view by dimension mask (bit m set = dim m aggregated).
+  Result<Tensor> ViewByMask(uint32_t aggregated_mask);
+
+  /// AVG view: SUM / COUNT cell-wise (cells with zero count yield 0).
+  /// Requires Options::maintain_count_cube.
+  Result<Tensor> AvgByMask(uint32_t aggregated_mask);
+
+  /// Any view element by id.
+  Result<Tensor> Element(const ElementId& id);
+
+  /// Range-aggregation (Section 6); missing intermediate elements are
+  /// assembled on demand and cached.
+  Result<double> RangeSum(const RangeSpec& range);
+
+  const CubeShape& shape() const { return shape_; }
+  const ElementStore& store() const { return store_; }
+  const SessionStats& stats() const { return stats_; }
+  const Tensor& cube() const { return cube_; }
+
+ private:
+  OlapSession(CubeShape shape, Tensor cube, Options options);
+
+  void RebuildEngines();
+
+  CubeShape shape_;
+  Tensor cube_;
+  Options options_;
+  ElementStore store_;
+  std::optional<Tensor> count_cube_;
+  std::optional<ElementStore> count_store_;
+  std::unique_ptr<AssemblyEngine> engine_;
+  std::unique_ptr<AssemblyEngine> count_engine_;
+  std::unique_ptr<RangeEngine> range_engine_;
+  AccessTracker tracker_;
+  std::optional<QueryPopulation> declared_workload_;
+  SessionStats stats_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_API_SESSION_H_

@@ -1,0 +1,59 @@
+#include "core/approximate.h"
+
+#include <cmath>
+
+namespace vecube {
+
+Result<ElementStore> ThresholdResiduals(const ElementStore& store,
+                                        double threshold,
+                                        ThresholdSummary* summary) {
+  if (threshold < 0.0) {
+    return Status::InvalidArgument("threshold must be non-negative");
+  }
+  ElementStore out(store.shape());
+  ThresholdSummary local;
+  for (const ElementId& id : store.Ids()) {
+    const Tensor* data;
+    VECUBE_ASSIGN_OR_RETURN(data, store.Get(id));
+    Tensor copy = *data;
+    if (id.IsResidual()) {
+      for (uint64_t i = 0; i < copy.size(); ++i) {
+        if (copy[i] != 0.0 && std::fabs(copy[i]) <= threshold) {
+          copy[i] = 0.0;
+          ++local.zeroed;
+        }
+      }
+    }
+    for (uint64_t i = 0; i < copy.size(); ++i) {
+      if (copy[i] != 0.0) ++local.retained_nonzero;
+    }
+    local.total_cells += copy.size();
+    VECUBE_RETURN_NOT_OK(out.Put(id, std::move(copy)));
+  }
+  if (summary != nullptr) *summary = local;
+  return out;
+}
+
+Result<ApproxError> CompareTensors(const Tensor& exact,
+                                   const Tensor& approximate) {
+  if (exact.extents() != approximate.extents()) {
+    return Status::InvalidArgument("tensor extents differ");
+  }
+  ApproxError error;
+  double sum_sq = 0.0;
+  double sum_abs_err = 0.0;
+  double sum_abs_exact = 0.0;
+  for (uint64_t i = 0; i < exact.size(); ++i) {
+    const double err = std::fabs(exact[i] - approximate[i]);
+    error.max_abs = std::max(error.max_abs, err);
+    sum_sq += err * err;
+    sum_abs_err += err;
+    sum_abs_exact += std::fabs(exact[i]);
+  }
+  error.rms = std::sqrt(sum_sq / static_cast<double>(exact.size()));
+  error.relative_l1 =
+      sum_abs_exact > 0.0 ? sum_abs_err / sum_abs_exact : 0.0;
+  return error;
+}
+
+}  // namespace vecube

@@ -1,0 +1,60 @@
+// Approximate query answering via coefficient thresholding.
+//
+// The residual view elements are exactly the Haar detail coefficients of
+// the cube; zeroing the small ones yields a lossy-but-compact store from
+// which views are assembled *approximately* — the classic wavelet synopsis
+// follow-up to the paper's framework (cf. its §4.3 compression remark).
+// Intermediate elements and aggregated views are never thresholded, so
+// any view that only needs partial aggregations of stored elements stays
+// exact; error enters only through synthesis from truncated residuals.
+
+#ifndef VECUBE_CORE_APPROXIMATE_H_
+#define VECUBE_CORE_APPROXIMATE_H_
+
+#include <cstdint>
+
+#include "core/store.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+struct ThresholdSummary {
+  /// Coefficients zeroed across residual elements.
+  uint64_t zeroed = 0;
+  /// Non-zero coefficients remaining across the whole store.
+  uint64_t retained_nonzero = 0;
+  /// Total cells in the store (unchanged by thresholding).
+  uint64_t total_cells = 0;
+
+  /// Fraction of cells still non-zero (a sparse encoding's payload).
+  double RetainedFraction() const {
+    return total_cells == 0
+               ? 0.0
+               : static_cast<double>(retained_nonzero) /
+                     static_cast<double>(total_cells);
+  }
+};
+
+/// Returns a copy of `store` with residual-element coefficients of
+/// magnitude <= `threshold` set to zero. Intermediate elements (including
+/// the cube and aggregated views) are copied untouched.
+Result<ElementStore> ThresholdResiduals(const ElementStore& store,
+                                        double threshold,
+                                        ThresholdSummary* summary = nullptr);
+
+/// Error metrics between an exact and an approximate tensor of equal
+/// extents.
+struct ApproxError {
+  double max_abs = 0.0;
+  double rms = 0.0;
+  /// Σ|err| / Σ|exact| (0 if the exact tensor is all zero).
+  double relative_l1 = 0.0;
+};
+
+Result<ApproxError> CompareTensors(const Tensor& exact,
+                                   const Tensor& approximate);
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_APPROXIMATE_H_

@@ -1,0 +1,243 @@
+#include "core/assembly.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.h"
+
+namespace vecube {
+
+namespace {
+constexpr uint32_t kMaxDims = 16;
+// Flat memo arrays up to this many graph nodes (~0.5 GiB of memo state);
+// larger graphs fall back to hash maps over the touched nodes.
+constexpr uint64_t kDenseMemoLimit = uint64_t{1} << 24;
+}  // namespace
+
+AssemblyEngine::AssemblyEngine(const ElementStore* store)
+    : store_(store), shape_(store->shape()), indexer_(shape_) {
+  VECUBE_CHECK(store != nullptr);
+  dense_memos_ = indexer_.size() <= kDenseMemoLimit;
+  Invalidate();
+}
+
+void AssemblyEngine::Invalidate() {
+  is_stored_.clear();
+  for (const ElementId& id : store_->Ids()) {
+    is_stored_[indexer_.Encode(id)] = 1;
+  }
+  ancestor_memo_.Init(indexer_.size(), dense_memos_);
+  plan_memo_.Init(indexer_.size(), dense_memos_);
+}
+
+uint64_t AssemblyEngine::EncodeRaw(const DimCode* codes) const {
+  uint64_t index = 0;
+  uint64_t weight = 1;
+  for (uint32_t m = shape_.ndim(); m-- > 0;) {
+    index += (((uint64_t{1} << codes[m].level) - 1) + codes[m].offset) * weight;
+    weight *= 2ull * shape_.extent(m) - 1;
+  }
+  return index;
+}
+
+uint64_t AssemblyEngine::VolumeRaw(const DimCode* codes) const {
+  uint64_t volume = 1;
+  for (uint32_t m = 0; m < shape_.ndim(); ++m) {
+    volume *= shape_.extent(m) >> codes[m].level;
+  }
+  return volume;
+}
+
+AssemblyEngine::AncestorInfo AssemblyEngine::MinAncestorRaw(DimCode* codes) {
+  const uint64_t index = EncodeRaw(codes);
+  if (const AncestorInfo* hit = ancestor_memo_.Find(index)) return *hit;
+  AncestorInfo info;
+  if (is_stored_.count(index) > 0) {
+    info.volume = VolumeRaw(codes);
+    info.arg = index;
+  }
+  for (uint32_t m = 0; m < shape_.ndim(); ++m) {
+    if (codes[m].level == 0) continue;
+    const DimCode saved = codes[m];
+    codes[m] = DimCode{saved.level - 1, saved.offset >> 1};
+    const AncestorInfo parent = MinAncestorRaw(codes);
+    codes[m] = saved;
+    if (parent.volume < info.volume) info = parent;
+  }
+  return ancestor_memo_.Insert(index, info);
+}
+
+AssemblyEngine::PlanNode AssemblyEngine::PlanRaw(DimCode* codes) {
+  const uint64_t index = EncodeRaw(codes);
+  if (const PlanNode* hit = plan_memo_.Find(index)) return *hit;
+
+  PlanNode node;
+  const uint64_t vol = VolumeRaw(codes);
+  // F option: aggregate down from the smallest stored ancestor (a stored
+  // target is the ancestor==self case with cost 0).
+  const AncestorInfo ancestor = MinAncestorRaw(codes);
+  if (ancestor.volume != kInfiniteCost) {
+    node.cost = ancestor.volume - vol;
+    node.choice = Choice::kAggregate;
+    node.source = ancestor.arg;
+  }
+
+  // R option: synthesize from the P/R children along the best dimension.
+  // Any synthesis costs at least Vol(n) (the final stage alone), so when
+  // aggregation already achieves that, the children cones need not be
+  // explored at all — this prunes most of the graph for stores containing
+  // coarse elements.
+  //
+  // Cheap first pass: bound each dimension's synthesis option by the
+  // children's *aggregation-only* costs (no recursive exploration). This
+  // often establishes the Vol(n) floor immediately — e.g. when both
+  // children are stored — and lets the deep pass be skipped entirely.
+  if (node.cost > vol) {
+    for (uint32_t m = 0; m < shape_.ndim(); ++m) {
+      if (codes[m].level >= shape_.log_extent(m)) continue;
+      const DimCode saved = codes[m];
+      codes[m] = DimCode{saved.level + 1, saved.offset * 2};
+      const AncestorInfo ap = MinAncestorRaw(codes);
+      const uint64_t child_vol = VolumeRaw(codes);
+      codes[m] = DimCode{saved.level + 1, saved.offset * 2 + 1};
+      const AncestorInfo ar = MinAncestorRaw(codes);
+      codes[m] = saved;
+      if (ap.volume == kInfiniteCost || ar.volume == kInfiniteCost) continue;
+      const uint64_t cost =
+          vol + (ap.volume - child_vol) + (ar.volume - child_vol);
+      if (cost < node.cost) {
+        node.cost = cost;
+        node.choice = Choice::kSynthesize;
+        node.split_dim = m;
+      }
+      if (node.cost <= vol) break;
+    }
+  }
+  if (node.cost > vol) {
+    for (uint32_t m = 0; m < shape_.ndim(); ++m) {
+      if (codes[m].level >= shape_.log_extent(m)) continue;
+      const DimCode saved = codes[m];
+      codes[m] = DimCode{saved.level + 1, saved.offset * 2};
+      const uint64_t tp = PlanRaw(codes).cost;
+      codes[m] = DimCode{saved.level + 1, saved.offset * 2 + 1};
+      const uint64_t tr = PlanRaw(codes).cost;
+      codes[m] = saved;
+      if (tp == kInfiniteCost || tr == kInfiniteCost) continue;
+      const uint64_t cost = vol + tp + tr;
+      if (cost < node.cost) {
+        node.cost = cost;
+        node.choice = Choice::kSynthesize;
+        node.split_dim = m;
+      }
+      if (node.cost <= vol) break;
+    }
+  }
+
+  return plan_memo_.Insert(index, node);
+}
+
+uint64_t AssemblyEngine::PlanCost(const ElementId& target) {
+  if (target.ndim() != shape_.ndim()) return kInfiniteCost;
+  std::array<DimCode, kMaxDims> codes{};
+  std::copy(target.codes().begin(), target.codes().end(), codes.begin());
+  return PlanRaw(codes.data()).cost;
+}
+
+Result<Tensor> AssemblyEngine::Execute(
+    const ElementId& target, OpCounter* ops,
+    std::unordered_map<uint64_t, Tensor>* shared) {
+  std::array<DimCode, kMaxDims> codes{};
+  std::copy(target.codes().begin(), target.codes().end(), codes.begin());
+  const uint64_t target_index = EncodeRaw(codes.data());
+  if (shared != nullptr) {
+    if (auto it = shared->find(target_index); it != shared->end()) {
+      return it->second;
+    }
+  }
+  const PlanNode node = PlanRaw(codes.data());  // copy: map may rehash below
+  switch (node.choice) {
+    case Choice::kAggregate: {
+      const ElementId source = indexer_.Decode(node.source);
+      const Tensor* data;
+      VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
+      if (source == target) return *data;
+      // Cascade from the ancestor to the target: per dimension, follow the
+      // remaining bits of the target's offset below the ancestor's level.
+      Tensor current = *data;
+      for (uint32_t m = 0; m < target.ndim(); ++m) {
+        const DimCode& from = source.dim(m);
+        const DimCode& to = target.dim(m);
+        for (uint32_t bit = to.level - from.level; bit-- > 0;) {
+          const bool residual = ((to.offset >> bit) & 1u) != 0;
+          Tensor next;
+          if (residual) {
+            VECUBE_ASSIGN_OR_RETURN(next, PartialResidual(current, m, ops));
+          } else {
+            VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, m, ops));
+          }
+          current = std::move(next);
+        }
+      }
+      if (shared != nullptr) shared->emplace(target_index, current);
+      return current;
+    }
+    case Choice::kSynthesize: {
+      ElementId p_id, r_id;
+      VECUBE_ASSIGN_OR_RETURN(
+          p_id, target.Child(node.split_dim, StepKind::kPartial, shape_));
+      VECUBE_ASSIGN_OR_RETURN(
+          r_id, target.Child(node.split_dim, StepKind::kResidual, shape_));
+      Tensor p, r;
+      VECUBE_ASSIGN_OR_RETURN(p, Execute(p_id, ops, shared));
+      VECUBE_ASSIGN_OR_RETURN(r, Execute(r_id, ops, shared));
+      Tensor out;
+      VECUBE_ASSIGN_OR_RETURN(out,
+                              SynthesizePair(p, r, node.split_dim, ops));
+      if (shared != nullptr) shared->emplace(target_index, out);
+      return out;
+    }
+    case Choice::kNone:
+      break;
+  }
+  return Status::Incomplete("stored element set cannot reconstruct " +
+                            target.ToString());
+}
+
+Result<Tensor> AssemblyEngine::Assemble(const ElementId& target,
+                                        OpCounter* ops) {
+  if (target.ndim() != shape_.ndim()) {
+    return Status::InvalidArgument("element arity does not match store");
+  }
+  ElementId checked;
+  VECUBE_ASSIGN_OR_RETURN(checked, ElementId::Make(target.codes(), shape_));
+  return Execute(target, ops, nullptr);
+}
+
+Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
+    const std::vector<ElementId>& targets, OpCounter* ops) {
+  std::unordered_map<uint64_t, Tensor> shared;
+  std::vector<Tensor> out;
+  out.reserve(targets.size());
+  for (const ElementId& target : targets) {
+    if (target.ndim() != shape_.ndim()) {
+      return Status::InvalidArgument("element arity does not match store");
+    }
+    ElementId checked;
+    VECUBE_ASSIGN_OR_RETURN(checked,
+                            ElementId::Make(target.codes(), shape_));
+    Tensor tensor;
+    VECUBE_ASSIGN_OR_RETURN(tensor, Execute(target, ops, &shared));
+    out.push_back(std::move(tensor));
+  }
+  return out;
+}
+
+Result<Tensor> AssemblyEngine::AssembleView(uint32_t aggregated_mask,
+                                            OpCounter* ops) {
+  ElementId view;
+  VECUBE_ASSIGN_OR_RETURN(view,
+                          ElementId::AggregatedView(aggregated_mask, shape_));
+  return Assemble(view, ops);
+}
+
+}  // namespace vecube

@@ -1,0 +1,183 @@
+#include "core/basis.h"
+
+#include <functional>
+
+#include "core/freq_rect.h"
+#include "core/graph.h"
+#include "util/logging.h"
+
+namespace vecube {
+
+uint64_t StorageVolume(const std::vector<ElementId>& set,
+                       const CubeShape& shape) {
+  uint64_t total = 0;
+  for (const ElementId& id : set) total += id.DataVolume(shape);
+  return total;
+}
+
+bool IsNonRedundant(const std::vector<ElementId>& set,
+                    const CubeShape& shape) {
+  std::vector<FreqRect> rects;
+  rects.reserve(set.size());
+  for (const ElementId& id : set) rects.push_back(FreqRect::Of(id, shape));
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      if (rects[i].Intersects(rects[j])) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Coverage check by recursive dyadic splitting with candidate pruning.
+// `candidates` holds the rects of set members that intersect `target_id`'s
+// rectangle. Invariant maintained on recursion.
+bool Covered(const ElementId& target_id, const std::vector<FreqRect>& candidates,
+             const CubeShape& shape) {
+  const FreqRect target = FreqRect::Of(target_id, shape);
+  for (const FreqRect& c : candidates) {
+    if (c.Contains(target)) return true;
+  }
+  // Find a splittable dimension.
+  uint32_t split_dim = target_id.ndim();
+  for (uint32_t m = 0; m < target_id.ndim(); ++m) {
+    if (target_id.CanSplit(m, shape)) {
+      split_dim = m;
+      break;
+    }
+  }
+  if (split_dim == target_id.ndim()) return false;  // minimal cell uncovered
+
+  auto p = target_id.Child(split_dim, StepKind::kPartial, shape);
+  auto r = target_id.Child(split_dim, StepKind::kResidual, shape);
+  VECUBE_CHECK(p.ok() && r.ok());
+  for (const ElementId* child : {&p.value(), &r.value()}) {
+    const FreqRect child_rect = FreqRect::Of(*child, shape);
+    std::vector<FreqRect> pruned;
+    for (const FreqRect& c : candidates) {
+      if (c.Intersects(child_rect)) pruned.push_back(c);
+    }
+    if (pruned.empty()) return false;
+    if (!Covered(*child, pruned, shape)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsCompleteFor(const std::vector<ElementId>& set, const ElementId& target,
+                   const CubeShape& shape) {
+  const FreqRect target_rect = FreqRect::Of(target, shape);
+  std::vector<FreqRect> candidates;
+  for (const ElementId& id : set) {
+    const FreqRect rect = FreqRect::Of(id, shape);
+    if (rect.Intersects(target_rect)) candidates.push_back(rect);
+  }
+  if (candidates.empty()) return false;
+  return Covered(target, candidates, shape);
+}
+
+bool IsComplete(const std::vector<ElementId>& set, const CubeShape& shape) {
+  return IsCompleteFor(set, ElementId::Root(shape.ndim()), shape);
+}
+
+bool IsCompleteProcedure1(const std::vector<ElementId>& set,
+                          const ElementId& target, const CubeShape& shape) {
+  for (const ElementId& id : set) {
+    if (id == target) return true;
+  }
+  for (uint32_t m = 0; m < target.ndim(); ++m) {
+    if (!target.CanSplit(m, shape)) continue;
+    auto p = target.Child(m, StepKind::kPartial, shape);
+    auto r = target.Child(m, StepKind::kResidual, shape);
+    VECUBE_CHECK(p.ok() && r.ok());
+    if (IsCompleteProcedure1(set, *p, shape) &&
+        IsCompleteProcedure1(set, *r, shape)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsNonRedundantBasis(const std::vector<ElementId>& set,
+                         const CubeShape& shape) {
+  return IsNonRedundant(set, shape) && IsComplete(set, shape);
+}
+
+namespace {
+
+// All child combinations of `id` over the splittable dimensions, each
+// dimension taking P or R. The all-partial combination is returned in
+// `all_partial`; the others are appended to `out`.
+void JointChildren(const ElementId& id, const CubeShape& shape,
+                   std::vector<ElementId>* out, ElementId* all_partial) {
+  std::vector<uint32_t> splittable;
+  for (uint32_t m = 0; m < id.ndim(); ++m) {
+    if (id.CanSplit(m, shape)) splittable.push_back(m);
+  }
+  VECUBE_CHECK(!splittable.empty());
+  const uint32_t combos = 1u << splittable.size();
+  for (uint32_t mask = 0; mask < combos; ++mask) {
+    ElementId child = id;
+    for (size_t i = 0; i < splittable.size(); ++i) {
+      const StepKind kind =
+          ((mask >> i) & 1u) ? StepKind::kResidual : StepKind::kPartial;
+      auto next = child.Child(splittable[i], kind, shape);
+      VECUBE_CHECK(next.ok());
+      child = *next;
+    }
+    if (mask == 0) {
+      *all_partial = child;
+    } else {
+      out->push_back(child);
+    }
+  }
+}
+
+bool AnySplittable(const ElementId& id, const CubeShape& shape) {
+  for (uint32_t m = 0; m < id.ndim(); ++m) {
+    if (id.CanSplit(m, shape)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ElementId> WaveletBasisSet(const CubeShape& shape) {
+  std::vector<ElementId> basis;
+  ElementId current = ElementId::Root(shape.ndim());
+  while (AnySplittable(current, shape)) {
+    ElementId all_partial;
+    JointChildren(current, shape, &basis, &all_partial);
+    current = all_partial;
+  }
+  basis.push_back(current);  // the total aggregation
+  return basis;
+}
+
+std::vector<ElementId> GaussianPyramidSet(const CubeShape& shape) {
+  std::vector<ElementId> pyramid;
+  ElementId current = ElementId::Root(shape.ndim());
+  pyramid.push_back(current);
+  while (AnySplittable(current, shape)) {
+    for (uint32_t m = 0; m < current.ndim(); ++m) {
+      if (!current.CanSplit(m, shape)) continue;
+      auto next = current.Child(m, StepKind::kPartial, shape);
+      VECUBE_CHECK(next.ok());
+      current = *next;
+    }
+    pyramid.push_back(current);
+  }
+  return pyramid;
+}
+
+std::vector<ElementId> ViewHierarchySet(const CubeShape& shape) {
+  return ViewElementGraph(shape).AggregatedViews();
+}
+
+std::vector<ElementId> CubeOnlySet(const CubeShape& shape) {
+  return {ElementId::Root(shape.ndim())};
+}
+
+}  // namespace vecube

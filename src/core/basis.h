@@ -1,0 +1,75 @@
+// View element sets and bases (Definitions 5-9, Sections 4.2-4.3).
+//
+// A set is *non-redundant* iff its frequency rectangles are pairwise
+// disjoint, and *complete* (a basis) iff they cover the frequency plane.
+// The canonical completeness test here is coverage-based (Section 4.2);
+// we also provide the paper's recursive Procedure 1 verbatim, which is a
+// sufficient test that coincides with coverage for d <= 2 and for all
+// guillotine-decomposable sets (see DESIGN.md for the d >= 3 caveat).
+//
+// The named bases of Section 4.3 — wavelet basis, Gaussian pyramid, view
+// hierarchy, wavelet packets — are constructed here.
+
+#ifndef VECUBE_CORE_BASIS_H_
+#define VECUBE_CORE_BASIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/shape.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Σ Vol(V) over the set: total cells stored when the set is materialized.
+uint64_t StorageVolume(const std::vector<ElementId>& set,
+                       const CubeShape& shape);
+
+/// Definition 7 via the frequency-plane criterion: pairwise-disjoint
+/// rectangles.
+bool IsNonRedundant(const std::vector<ElementId>& set, const CubeShape& shape);
+
+/// Completeness with respect to `target` via frequency coverage: the set's
+/// rectangles (clipped to target) cover target's rectangle. This is the
+/// necessary-and-sufficient criterion of Section 4.2.
+bool IsCompleteFor(const std::vector<ElementId>& set, const ElementId& target,
+                   const CubeShape& shape);
+
+/// Completeness with respect to the whole cube (Definition 8).
+bool IsComplete(const std::vector<ElementId>& set, const CubeShape& shape);
+
+/// The paper's Procedure 1, verbatim: `target` is in the set, or the set is
+/// complete w.r.t. both children along at least one dimension. Sufficient
+/// but (for d >= 3, redundant covers) not necessary; kept for fidelity and
+/// cross-checking.
+bool IsCompleteProcedure1(const std::vector<ElementId>& set,
+                          const ElementId& target, const CubeShape& shape);
+
+/// Definition 9: complete and non-redundant.
+bool IsNonRedundantBasis(const std::vector<ElementId>& set,
+                         const CubeShape& shape);
+
+// ---------------------------------------------------------------------------
+// Named element sets of Section 4.3.
+
+/// The (non-redundant) Haar wavelet basis: recursively decompose the
+/// all-partial element jointly on every splittable dimension; keep every
+/// child combination except the all-partial one; finish with the total
+/// aggregation. Volume = Vol(A).
+std::vector<ElementId> WaveletBasisSet(const CubeShape& shape);
+
+/// The (redundant) Gaussian pyramid: the chain of joint partial
+/// aggregations from the cube down to the total aggregation.
+std::vector<ElementId> GaussianPyramidSet(const CubeShape& shape);
+
+/// The (redundant) view hierarchy of Harinarayan et al. [8]: all 2^d
+/// aggregated views, including the cube. Volume = Π(n_m + 1).
+std::vector<ElementId> ViewHierarchySet(const CubeShape& shape);
+
+/// Just the data cube itself — the trivial non-redundant basis.
+std::vector<ElementId> CubeOnlySet(const CubeShape& shape);
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_BASIS_H_

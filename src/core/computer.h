@@ -1,0 +1,49 @@
+// ElementComputer: materializes view elements from the data cube.
+//
+// Generation follows the analysis cascade (Sections 3.1-3.2): each
+// element's data is obtained by applying its P/R path from the root. A
+// memo cache of cascade prefixes lets a set of related elements (a basis,
+// a pyramid) be materialized with shared work, mirroring the paper's
+// block-at-a-time generation of the view element graph (Section 4.1).
+
+#ifndef VECUBE_CORE_COMPUTER_H_
+#define VECUBE_CORE_COMPUTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/element_id.h"
+#include "core/store.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "haar/transform.h"
+#include "util/result.h"
+
+namespace vecube {
+
+class ElementComputer {
+ public:
+  /// Borrows the cube; the caller keeps it alive.
+  ElementComputer(const CubeShape& shape, const Tensor* cube);
+
+  /// Data of a single element, computed by cascading from the cube (or a
+  /// cached prefix). `ops` (optional) accrues analysis operation counts.
+  Result<Tensor> Compute(const ElementId& id, OpCounter* ops = nullptr);
+
+  /// Materializes every element of `set` into a fresh store.
+  Result<ElementStore> Materialize(const std::vector<ElementId>& set,
+                                   OpCounter* ops = nullptr);
+
+  /// Drops cached cascade prefixes (the root cube is retained).
+  void ClearCache() { cache_.clear(); }
+  size_t CacheSize() const { return cache_.size(); }
+
+ private:
+  CubeShape shape_;
+  const Tensor* cube_;
+  std::unordered_map<ElementId, Tensor, ElementIdHash> cache_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_COMPUTER_H_

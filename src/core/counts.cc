@@ -1,0 +1,32 @@
+#include "core/counts.h"
+
+#include "core/graph.h"
+
+namespace vecube {
+
+ElementCensus CensusClosedForm(const CubeShape& shape) {
+  ViewElementGraph graph(shape);
+  ElementCensus census;
+  census.total = graph.NumElements();
+  census.aggregated = graph.NumAggregatedViews();
+  census.intermediate = graph.NumIntermediate();
+  census.residual = graph.NumResidual();
+  return census;
+}
+
+ElementCensus CensusByEnumeration(const CubeShape& shape) {
+  ViewElementGraph graph(shape);
+  ElementCensus census;
+  graph.ForEachElement([&](const ElementId& id) {
+    ++census.total;
+    if (id.IsAggregatedView(shape)) ++census.aggregated;
+    if (id.IsIntermediate()) {
+      ++census.intermediate;
+    } else {
+      ++census.residual;
+    }
+  });
+  return census;
+}
+
+}  // namespace vecube

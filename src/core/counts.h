@@ -1,0 +1,32 @@
+// Closed-form view element census (Section 4.1, Table 1) and the
+// brute-force enumeration used to validate it.
+
+#ifndef VECUBE_CORE_COUNTS_H_
+#define VECUBE_CORE_COUNTS_H_
+
+#include <cstdint>
+
+#include "cube/shape.h"
+
+namespace vecube {
+
+/// Census of a view element graph.
+struct ElementCensus {
+  uint64_t total = 0;         ///< N_ve (Eq. 17)
+  uint64_t aggregated = 0;    ///< N_av (Eq. 18)
+  uint64_t intermediate = 0;  ///< N_iv (Eq. 19)
+  uint64_t residual = 0;      ///< N_rv (Eq. 20)
+
+  bool operator==(const ElementCensus&) const = default;
+};
+
+/// Closed forms of Eqs. 17-20.
+ElementCensus CensusClosedForm(const CubeShape& shape);
+
+/// Walks every element and classifies it. Exponential; only for shapes
+/// small enough to enumerate (used by tests and bench_table1 validation).
+ElementCensus CensusByEnumeration(const CubeShape& shape);
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_COUNTS_H_

@@ -1,0 +1,78 @@
+#include "core/freq_rect.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace vecube {
+
+FreqRect FreqRect::Of(const ElementId& id, const CubeShape& shape) {
+  VECUBE_DCHECK(id.ndim() == shape.ndim());
+  FreqRect rect;
+  rect.intervals_.resize(id.ndim());
+  for (uint32_t m = 0; m < id.ndim(); ++m) {
+    const DimCode& c = id.dim(m);
+    const uint32_t shift = shape.log_extent(m) - c.level;
+    rect.intervals_[m].lo = static_cast<uint64_t>(c.offset) << shift;
+    rect.intervals_[m].hi = static_cast<uint64_t>(c.offset + 1) << shift;
+  }
+  return rect;
+}
+
+uint64_t FreqRect::Volume() const {
+  uint64_t volume = 1;
+  for (const FreqInterval& iv : intervals_) volume *= iv.width();
+  return volume;
+}
+
+uint64_t FreqRect::Overlap(const FreqRect& other) const {
+  VECUBE_DCHECK(ndim() == other.ndim());
+  uint64_t volume = 1;
+  for (uint32_t m = 0; m < ndim(); ++m) {
+    const uint64_t lo = std::max(intervals_[m].lo, other.intervals_[m].lo);
+    const uint64_t hi = std::min(intervals_[m].hi, other.intervals_[m].hi);
+    if (hi <= lo) return 0;
+    volume *= hi - lo;
+  }
+  return volume;
+}
+
+bool FreqRect::Contains(const FreqRect& other) const {
+  VECUBE_DCHECK(ndim() == other.ndim());
+  for (uint32_t m = 0; m < ndim(); ++m) {
+    if (other.intervals_[m].lo < intervals_[m].lo ||
+        other.intervals_[m].hi > intervals_[m].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FreqRect::ToString() const {
+  std::string out = "{";
+  for (uint32_t m = 0; m < ndim(); ++m) {
+    if (m > 0) out += " x ";
+    out += "[" + std::to_string(intervals_[m].lo) + "," +
+           std::to_string(intervals_[m].hi) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+bool IsAncestorOf(const ElementId& ancestor, const ElementId& descendant) {
+  VECUBE_DCHECK(ancestor.ndim() == descendant.ndim());
+  for (uint32_t m = 0; m < ancestor.ndim(); ++m) {
+    const DimCode& a = ancestor.dim(m);
+    const DimCode& d = descendant.dim(m);
+    if (a.level > d.level) return false;
+    if ((d.offset >> (d.level - a.level)) != a.offset) return false;
+  }
+  return true;
+}
+
+uint64_t OverlapCells(const ElementId& a, const ElementId& b,
+                      const CubeShape& shape) {
+  return FreqRect::Of(a, shape).Overlap(FreqRect::Of(b, shape));
+}
+
+}  // namespace vecube

@@ -1,0 +1,150 @@
+#include "core/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace vecube {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'E', 'C', 'U', 'B', 'E', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(T));
+}
+
+}  // namespace
+
+Status SaveStore(const ElementStore& store, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  std::FILE* f = file.get();
+  const CubeShape& shape = store.shape();
+
+  if (!WriteBytes(f, kMagic, sizeof(kMagic))) {
+    return Status::Internal("write failed: " + path);
+  }
+  if (!WriteScalar<uint32_t>(f, shape.ndim())) {
+    return Status::Internal("write failed: " + path);
+  }
+  for (uint32_t m = 0; m < shape.ndim(); ++m) {
+    if (!WriteScalar<uint32_t>(f, shape.extent(m))) {
+      return Status::Internal("write failed: " + path);
+    }
+  }
+  const std::vector<ElementId> ids = store.Ids();
+  if (!WriteScalar<uint64_t>(f, ids.size())) {
+    return Status::Internal("write failed: " + path);
+  }
+  for (const ElementId& id : ids) {
+    for (uint32_t m = 0; m < shape.ndim(); ++m) {
+      if (!WriteScalar<uint32_t>(f, id.dim(m).level) ||
+          !WriteScalar<uint32_t>(f, id.dim(m).offset)) {
+        return Status::Internal("write failed: " + path);
+      }
+    }
+    const Tensor* data;
+    VECUBE_ASSIGN_OR_RETURN(data, store.Get(id));
+    if (!WriteScalar<uint64_t>(f, data->size()) ||
+        !WriteBytes(f, data->raw(), data->size() * sizeof(double))) {
+      return Status::Internal("write failed: " + path);
+    }
+  }
+  if (std::fflush(f) != 0) return Status::Internal("flush failed: " + path);
+  return Status::OK();
+}
+
+Result<ElementStore> LoadStore(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path + " for reading");
+  }
+  std::FILE* f = file.get();
+
+  char magic[8];
+  if (!ReadBytes(f, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not a vecube store file");
+  }
+
+  uint32_t ndim = 0;
+  if (!ReadScalar(f, &ndim) || ndim == 0 || ndim > 16) {
+    return Status::InvalidArgument(path + ": bad dimensionality");
+  }
+  std::vector<uint32_t> extents(ndim);
+  for (uint32_t m = 0; m < ndim; ++m) {
+    if (!ReadScalar(f, &extents[m])) {
+      return Status::InvalidArgument(path + ": truncated header");
+    }
+  }
+  CubeShape shape;
+  VECUBE_ASSIGN_OR_RETURN(shape, CubeShape::Make(extents));
+
+  uint64_t count = 0;
+  if (!ReadScalar(f, &count)) {
+    return Status::InvalidArgument(path + ": truncated element count");
+  }
+  ElementStore store(shape);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::vector<DimCode> codes(ndim);
+    for (uint32_t m = 0; m < ndim; ++m) {
+      if (!ReadScalar(f, &codes[m].level) ||
+          !ReadScalar(f, &codes[m].offset)) {
+        return Status::InvalidArgument(path + ": truncated element header");
+      }
+    }
+    ElementId id;
+    VECUBE_ASSIGN_OR_RETURN(id, ElementId::Make(std::move(codes), shape));
+
+    uint64_t cell_count = 0;
+    if (!ReadScalar(f, &cell_count)) {
+      return Status::InvalidArgument(path + ": truncated cell count");
+    }
+    if (cell_count != id.DataVolume(shape)) {
+      return Status::InvalidArgument(path + ": cell count mismatch for " +
+                                     id.ToString());
+    }
+    std::vector<double> cells(cell_count);
+    if (!ReadBytes(f, cells.data(), cell_count * sizeof(double))) {
+      return Status::InvalidArgument(path + ": truncated cell data");
+    }
+    Tensor data;
+    VECUBE_ASSIGN_OR_RETURN(
+        data, Tensor::FromData(id.DataExtents(shape), std::move(cells)));
+    VECUBE_RETURN_NOT_OK(store.Put(id, std::move(data)));
+  }
+  // Trailing garbage indicates corruption.
+  char extra;
+  if (std::fread(&extra, 1, 1, f) == 1) {
+    return Status::InvalidArgument(path + ": trailing bytes after store");
+  }
+  return store;
+}
+
+}  // namespace vecube

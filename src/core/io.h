@@ -1,0 +1,34 @@
+// Binary persistence for materialized element stores.
+//
+// A production deployment selects a view element set once (or rarely) and
+// serves queries from it across process restarts; these helpers write and
+// read the complete store — shape, element ids, and cell data — in a
+// simple versioned little-endian binary format.
+//
+// Layout:
+//   magic "VECUBE01" (8 bytes)
+//   u32 ndim, u32 extents[ndim]
+//   u64 element_count
+//   per element: u32 (level, offset)[ndim], u64 cell_count,
+//                f64 cells[cell_count]
+
+#ifndef VECUBE_CORE_IO_H_
+#define VECUBE_CORE_IO_H_
+
+#include <string>
+
+#include "core/store.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Writes the store to `path`, replacing any existing file.
+Status SaveStore(const ElementStore& store, const std::string& path);
+
+/// Reads a store previously written by SaveStore. Fails with
+/// InvalidArgument on a malformed or truncated file.
+Result<ElementStore> LoadStore(const std::string& path);
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_IO_H_

@@ -1,0 +1,59 @@
+#include "core/store.h"
+
+#include <algorithm>
+
+namespace vecube {
+
+Status ElementStore::Put(const ElementId& id, Tensor data) {
+  if (id.ndim() != shape_.ndim()) {
+    return Status::InvalidArgument("element arity does not match store shape");
+  }
+  if (data.extents() != id.DataExtents(shape_)) {
+    return Status::InvalidArgument("tensor extents " + data.ShapeString() +
+                                   " do not match element " + id.ToString());
+  }
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    it->second = std::move(data);
+    return Status::OK();
+  }
+  storage_cells_ += id.DataVolume(shape_);
+  map_.emplace(id, std::move(data));
+  return Status::OK();
+}
+
+Status ElementStore::Erase(const ElementId& id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Status::NotFound("element " + id.ToString() + " not in store");
+  }
+  storage_cells_ -= id.DataVolume(shape_);
+  map_.erase(it);
+  return Status::OK();
+}
+
+Result<const Tensor*> ElementStore::Get(const ElementId& id) const {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Status::NotFound("element " + id.ToString() + " not in store");
+  }
+  return &it->second;
+}
+
+Result<Tensor*> ElementStore::GetMutable(const ElementId& id) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return Status::NotFound("element " + id.ToString() + " not in store");
+  }
+  return &it->second;
+}
+
+std::vector<ElementId> ElementStore::Ids() const {
+  std::vector<ElementId> ids;
+  ids.reserve(map_.size());
+  for (const auto& [id, tensor] : map_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace vecube

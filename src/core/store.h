@@ -1,0 +1,63 @@
+// ElementStore: the materialized view elements backing query answering.
+
+#ifndef VECUBE_CORE_STORE_H_
+#define VECUBE_CORE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Holds materialized element data keyed by ElementId. The store does not
+/// enforce completeness — AssemblyEngine reports Incomplete when a target
+/// cannot be reconstructed from what is present.
+class ElementStore {
+ public:
+  explicit ElementStore(CubeShape shape) : shape_(std::move(shape)) {}
+
+  const CubeShape& shape() const { return shape_; }
+
+  /// Inserts (or replaces) an element. The tensor extents must match the
+  /// id's data extents for this shape.
+  Status Put(const ElementId& id, Tensor data);
+
+  /// Removes an element; NotFound if absent.
+  Status Erase(const ElementId& id);
+
+  bool Contains(const ElementId& id) const { return map_.count(id) > 0; }
+
+  /// Borrowed pointer to the element data; NotFound if absent.
+  Result<const Tensor*> Get(const ElementId& id) const;
+
+  /// Mutable access for in-place maintenance (extents must not change).
+  Result<Tensor*> GetMutable(const ElementId& id);
+
+  size_t size() const { return map_.size(); }
+
+  /// Σ Vol over stored elements — the storage cost axis of Section 7.2.2.
+  uint64_t StorageCells() const { return storage_cells_; }
+
+  /// Storage relative to the cube volume (the paper's Figure 9 axis).
+  double RelativeStorage() const {
+    return static_cast<double>(storage_cells_) /
+           static_cast<double>(shape_.volume());
+  }
+
+  /// Stored ids in deterministic (sorted) order.
+  std::vector<ElementId> Ids() const;
+
+ private:
+  CubeShape shape_;
+  std::unordered_map<ElementId, Tensor, ElementIdHash> map_;
+  uint64_t storage_cells_ = 0;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_STORE_H_

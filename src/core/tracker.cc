@@ -1,0 +1,45 @@
+#include "core/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vecube {
+
+void AccessTracker::Record(const ElementId& id) {
+  if (decay_ < 1.0) {
+    for (auto& [key, weight] : weights_) weight *= decay_;
+  }
+  weights_[id] += 1.0;
+  ++total_;
+}
+
+std::vector<std::pair<ElementId, double>> AccessTracker::Distribution() const {
+  std::vector<std::pair<ElementId, double>> dist(weights_.begin(),
+                                                 weights_.end());
+  std::sort(dist.begin(), dist.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  double total = 0.0;
+  for (const auto& [id, w] : dist) total += w;
+  if (total > 0.0) {
+    for (auto& [id, w] : dist) w /= total;
+  }
+  return dist;
+}
+
+double AccessTracker::L1Drift(
+    const std::vector<std::pair<ElementId, double>>& reference) const {
+  const auto mine = Distribution();
+  std::unordered_map<ElementId, double, ElementIdHash> merged;
+  for (const auto& [id, f] : mine) merged[id] += f;
+  for (const auto& [id, f] : reference) merged[id] -= f;
+  double drift = 0.0;
+  for (const auto& [id, delta] : merged) drift += std::fabs(delta);
+  return drift;
+}
+
+void AccessTracker::Reset() {
+  weights_.clear();
+  total_ = 0;
+}
+
+}  // namespace vecube

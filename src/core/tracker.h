@@ -1,0 +1,51 @@
+// AccessTracker: observed view-access frequencies for dynamic adaptation.
+//
+// Section 5: "the frequencies of access can be observed on-line, allowing
+// the system to dynamically reconfigure." The tracker keeps exponentially
+// decayed access weights per view element so the selection algorithms can
+// be re-run against the live distribution.
+
+#ifndef VECUBE_CORE_TRACKER_H_
+#define VECUBE_CORE_TRACKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/element_id.h"
+
+namespace vecube {
+
+class AccessTracker {
+ public:
+  /// `decay` in (0, 1]: weight multiplier applied to all history per
+  /// recorded access. 1.0 = plain counting.
+  explicit AccessTracker(double decay = 1.0) : decay_(decay) {}
+
+  /// Records one access to `id`.
+  void Record(const ElementId& id);
+
+  uint64_t total_accesses() const { return total_; }
+
+  /// Normalized frequency distribution over observed ids (sums to 1);
+  /// empty if nothing recorded. Deterministically ordered by id.
+  std::vector<std::pair<ElementId, double>> Distribution() const;
+
+  /// L1 distance between this tracker's distribution and `reference`
+  /// (a normalized id->frequency list). Ranges [0, 2]; the drift signal
+  /// used by DynamicAssembler to trigger reselection.
+  double L1Drift(
+      const std::vector<std::pair<ElementId, double>>& reference) const;
+
+  void Reset();
+
+ private:
+  double decay_;
+  uint64_t total_ = 0;
+  std::unordered_map<ElementId, double, ElementIdHash> weights_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_TRACKER_H_

@@ -1,0 +1,59 @@
+// Incremental maintenance of materialized view elements.
+//
+// Every view element is a linear functional of the data cube, and the
+// unnormalized Haar pair has ±1 coefficients, so a single-cell update
+// A[x] += delta touches exactly ONE cell of every view element, with a
+// sign determined by the element's residual steps:
+//
+//   * along dimension m with code (k, o), the touched cell index is
+//     x_m >> k;
+//   * analysis step t of the cascade consumes bit t of x_m (P1 pairs
+//     neighbors, halving the coordinate each stage); a residual step
+//     contributes -1 when that coordinate bit is 1, a partial step always
+//     contributes +1. Step t's kind is offset bit (k-1-t).
+//
+// This turns fact-table appends into O(#elements * d) store maintenance —
+// no recomputation — which is what makes a long-lived materialized
+// element set practical under a trickle of updates.
+
+#ifndef VECUBE_CORE_UPDATE_H_
+#define VECUBE_CORE_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/element_id.h"
+#include "core/store.h"
+#include "cube/shape.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Where a base-cube point lands inside one element, and with what sign.
+struct PointProjection {
+  uint64_t flat_index = 0;
+  int sign = +1;  ///< +1 or -1
+};
+
+/// Projects base-cube coordinates into element `id`: the single affected
+/// cell and the ±1 Haar coefficient.
+Result<PointProjection> ProjectPoint(const ElementId& id,
+                                     const std::vector<uint32_t>& coords,
+                                     const CubeShape& shape);
+
+/// Applies `A[coords] += delta` to every element materialized in `store`
+/// (including the root cube itself if stored). The store stays exactly
+/// consistent with the updated cube.
+Status ApplyPointDelta(ElementStore* store,
+                       const std::vector<uint32_t>& coords, double delta);
+
+/// Batch form: one record per (coords, delta), e.g. a fact-table append.
+struct CellDelta {
+  std::vector<uint32_t> coords;
+  double delta = 0.0;
+};
+Status ApplyDeltas(ElementStore* store, const std::vector<CellDelta>& deltas);
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_UPDATE_H_

@@ -1,0 +1,166 @@
+#include "cube/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace vecube {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char c : line) {
+    if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+Result<int64_t> ParseInt(const std::string& field, uint64_t line_number) {
+  if (field.empty()) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": empty integer field");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(field.c_str(), &end, 10);
+  if (errno != 0 || end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": '" + field + "' is not an integer");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& field, uint64_t line_number) {
+  if (field.empty()) {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": empty measure field");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end == field.c_str() || *end != '\0') {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": '" + field + "' is not a number");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Relation> LoadRelationCsv(const std::string& path,
+                                 uint32_t num_functional,
+                                 uint32_t num_measures,
+                                 const CsvOptions& options) {
+  if (num_functional == 0 || num_measures == 0) {
+    return Status::InvalidArgument(
+        "need at least one functional and one measure column");
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  const uint32_t total_columns = num_functional + num_measures;
+
+  std::vector<std::string> functional_names, measure_names;
+  std::string line;
+  uint64_t line_number = 0;
+
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument(path + ": missing header line");
+    }
+    ++line_number;
+    const auto fields = SplitLine(line, options.delimiter);
+    if (fields.size() != total_columns) {
+      return Status::InvalidArgument(
+          path + ": header has " + std::to_string(fields.size()) +
+          " columns, expected " + std::to_string(total_columns));
+    }
+    for (uint32_t i = 0; i < num_functional; ++i) {
+      functional_names.push_back(fields[i]);
+    }
+    for (uint32_t i = num_functional; i < total_columns; ++i) {
+      measure_names.push_back(fields[i]);
+    }
+  } else {
+    for (uint32_t i = 0; i < num_functional; ++i) {
+      functional_names.push_back("key" + std::to_string(i));
+    }
+    for (uint32_t i = 0; i < num_measures; ++i) {
+      measure_names.push_back("measure" + std::to_string(i));
+    }
+  }
+
+  Relation relation;
+  VECUBE_ASSIGN_OR_RETURN(
+      relation, Relation::Make(std::move(functional_names),
+                               std::move(measure_names)));
+
+  std::vector<int64_t> keys(num_functional);
+  std::vector<double> measures(num_measures);
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;  // tolerate trailing blank lines
+    const auto fields = SplitLine(line, options.delimiter);
+    if (fields.size() != total_columns) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": has " +
+          std::to_string(fields.size()) + " columns, expected " +
+          std::to_string(total_columns));
+    }
+    for (uint32_t i = 0; i < num_functional; ++i) {
+      VECUBE_ASSIGN_OR_RETURN(keys[i], ParseInt(fields[i], line_number));
+    }
+    for (uint32_t i = 0; i < num_measures; ++i) {
+      VECUBE_ASSIGN_OR_RETURN(
+          measures[i], ParseDouble(fields[num_functional + i], line_number));
+    }
+    VECUBE_RETURN_NOT_OK(relation.Append(keys, measures));
+  }
+  return relation;
+}
+
+Status SaveRelationCsv(const Relation& relation, const std::string& path,
+                       char delimiter) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  for (uint32_t i = 0; i < relation.num_functional(); ++i) {
+    if (i > 0) out << delimiter;
+    out << relation.functional_name(i);
+  }
+  for (uint32_t i = 0; i < relation.num_measures(); ++i) {
+    out << delimiter << relation.measure_name(i);
+  }
+  out << '\n';
+  std::ostringstream value;
+  for (uint64_t row = 0; row < relation.num_rows(); ++row) {
+    for (uint32_t i = 0; i < relation.num_functional(); ++i) {
+      if (i > 0) out << delimiter;
+      out << relation.key(i, row);
+    }
+    for (uint32_t i = 0; i < relation.num_measures(); ++i) {
+      value.str("");
+      value << relation.measure(i, row);
+      out << delimiter << value.str();
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace vecube

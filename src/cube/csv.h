@@ -1,0 +1,38 @@
+// CSV ingestion for relations.
+//
+// Loads a delimited text file into a Relation: the first
+// `num_functional` columns are int64 functional attributes, the remaining
+// `num_measures` columns are double measures. Strict parsing — malformed
+// rows produce errors with line numbers, not silent skips.
+
+#ifndef VECUBE_CUBE_CSV_H_
+#define VECUBE_CUBE_CSV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cube/relation.h"
+#include "util/result.h"
+
+namespace vecube {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (column headers). When true, header names are
+  /// used for the relation's attribute names.
+  bool has_header = true;
+};
+
+/// Parses `path` into a Relation with the given column split.
+Result<Relation> LoadRelationCsv(const std::string& path,
+                                 uint32_t num_functional,
+                                 uint32_t num_measures,
+                                 const CsvOptions& options = {});
+
+/// Writes a Relation out as CSV (header always included).
+Status SaveRelationCsv(const Relation& relation, const std::string& path,
+                       char delimiter = ',');
+
+}  // namespace vecube
+
+#endif  // VECUBE_CUBE_CSV_H_

@@ -1,0 +1,60 @@
+#include "cube/cube_builder.h"
+
+#include <string>
+
+namespace vecube {
+
+Result<BuiltCube> CubeBuilder::Build(const Relation& relation,
+                                     const CubeShape& shape,
+                                     const CubeBuildOptions& options) {
+  if (relation.num_functional() != shape.ndim()) {
+    return Status::InvalidArgument(
+        "relation has " + std::to_string(relation.num_functional()) +
+        " functional attributes but cube has " + std::to_string(shape.ndim()) +
+        " dimensions");
+  }
+  if (!options.count_instead_of_sum &&
+      options.measure_column >= relation.num_measures()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+
+  BuiltCube built;
+  built.shape = shape;
+  VECUBE_ASSIGN_OR_RETURN(built.cube, Tensor::Zeros(shape.extents()));
+  if (options.mapping == KeyMapping::kDictionary) {
+    built.dictionaries.resize(shape.ndim());
+  }
+
+  const uint32_t d = shape.ndim();
+  std::vector<uint32_t> coords(d);
+  for (uint64_t row = 0; row < relation.num_rows(); ++row) {
+    for (uint32_t m = 0; m < d; ++m) {
+      const int64_t key = relation.key(m, row);
+      uint32_t index;
+      if (options.mapping == KeyMapping::kDirect) {
+        if (key < 0 || static_cast<uint64_t>(key) >= shape.extent(m)) {
+          return Status::OutOfRange(
+              "row " + std::to_string(row) + ": key " + std::to_string(key) +
+              " outside dimension " + std::to_string(m) + " extent " +
+              std::to_string(shape.extent(m)));
+        }
+        index = static_cast<uint32_t>(key);
+      } else {
+        index = built.dictionaries[m].Encode(key);
+        if (index >= shape.extent(m)) {
+          return Status::OutOfRange(
+              "dimension " + std::to_string(m) + " has more than " +
+              std::to_string(shape.extent(m)) + " distinct values");
+        }
+      }
+      coords[m] = index;
+    }
+    const double value = options.count_instead_of_sum
+                             ? 1.0
+                             : relation.measure(options.measure_column, row);
+    built.cube[built.cube.FlatIndex(coords)] += value;
+  }
+  return built;
+}
+
+}  // namespace vecube

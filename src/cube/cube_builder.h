@@ -1,0 +1,61 @@
+// CubeBuilder: maps a Relation onto a dense MOLAP data cube (Section 2).
+//
+// "the d-dimensional data cube [is] generated from relation R by mapping
+// the m-th functional attribute of R to dimension i_m ... Each cell in A
+// contains an aggregation of the measure attribute of all records in R
+// that map to that cell." The aggregation operator developed by the paper
+// is SUM; COUNT is SUM over a unit measure and AVG is the ratio of two
+// SUM cubes, both of which the builder supports directly.
+
+#ifndef VECUBE_CUBE_CUBE_BUILDER_H_
+#define VECUBE_CUBE_CUBE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/relation.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// How raw key values are mapped to cube indices along each dimension.
+enum class KeyMapping {
+  /// Key values are already indices in [0, extent).
+  kDirect,
+  /// Key values are dictionary-encoded in first-seen order.
+  kDictionary,
+};
+
+/// Options controlling cube construction.
+struct CubeBuildOptions {
+  KeyMapping mapping = KeyMapping::kDirect;
+  /// Which measure column to aggregate (SUM).
+  uint32_t measure_column = 0;
+  /// If true, aggregate a constant 1 per record instead of the measure,
+  /// producing a COUNT cube.
+  bool count_instead_of_sum = false;
+};
+
+/// Result of building: the cube plus the dictionaries (empty for kDirect),
+/// so queries can translate attribute values to coordinates.
+struct BuiltCube {
+  CubeShape shape;
+  Tensor cube;
+  std::vector<Dictionary> dictionaries;
+};
+
+class CubeBuilder {
+ public:
+  /// Builds a SUM (or COUNT) data cube of the given shape from `relation`.
+  /// With kDirect mapping, any key outside [0, extent) is an error; with
+  /// kDictionary mapping, overflowing a dimension's extent is an error.
+  static Result<BuiltCube> Build(const Relation& relation,
+                                 const CubeShape& shape,
+                                 const CubeBuildOptions& options = {});
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CUBE_CUBE_BUILDER_H_

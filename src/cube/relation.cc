@@ -1,0 +1,57 @@
+#include "cube/relation.h"
+
+namespace vecube {
+
+Result<Relation> Relation::Make(std::vector<std::string> functional_names,
+                                std::vector<std::string> measure_names) {
+  if (functional_names.empty()) {
+    return Status::InvalidArgument(
+        "relation needs at least one functional attribute");
+  }
+  if (measure_names.empty()) {
+    return Status::InvalidArgument(
+        "relation needs at least one measure attribute");
+  }
+  Relation r;
+  r.key_columns_.resize(functional_names.size());
+  r.measure_columns_.resize(measure_names.size());
+  r.functional_names_ = std::move(functional_names);
+  r.measure_names_ = std::move(measure_names);
+  return r;
+}
+
+Status Relation::Append(const std::vector<int64_t>& keys,
+                        const std::vector<double>& measures) {
+  if (keys.size() != key_columns_.size()) {
+    return Status::InvalidArgument("wrong number of functional attributes");
+  }
+  if (measures.size() != measure_columns_.size()) {
+    return Status::InvalidArgument("wrong number of measure attributes");
+  }
+  for (size_t i = 0; i < keys.size(); ++i) key_columns_[i].push_back(keys[i]);
+  for (size_t i = 0; i < measures.size(); ++i) {
+    measure_columns_[i].push_back(measures[i]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+uint32_t Dictionary::Encode(int64_t value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const uint32_t idx = static_cast<uint32_t>(values_.size());
+  index_.emplace(value, idx);
+  values_.push_back(value);
+  return idx;
+}
+
+Result<uint32_t> Dictionary::Lookup(int64_t value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("value " + std::to_string(value) +
+                            " not present in dictionary");
+  }
+  return it->second;
+}
+
+}  // namespace vecube

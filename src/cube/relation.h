@@ -1,0 +1,95 @@
+// Relation: the relational substrate of Section 2.
+//
+// "the data set is initially stored in a relational table R that has d
+// functional attributes and at least one measure attribute." We model R as
+// a column-oriented table with int64 key columns (the functional
+// attributes) and one or more double measure columns, and keep per-column
+// dictionaries so arbitrary attribute domains can be mapped onto the
+// 0..n_m-1 index space of the cube.
+
+#ifndef VECUBE_CUBE_RELATION_H_
+#define VECUBE_CUBE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace vecube {
+
+/// Column-oriented relational table: d functional (dimension key)
+/// attributes of type int64 and >= 1 measure attributes of type double.
+class Relation {
+ public:
+  /// Creates an empty relation with the given attribute names.
+  static Result<Relation> Make(std::vector<std::string> functional_names,
+                               std::vector<std::string> measure_names);
+
+  uint32_t num_functional() const {
+    return static_cast<uint32_t>(functional_names_.size());
+  }
+  uint32_t num_measures() const {
+    return static_cast<uint32_t>(measure_names_.size());
+  }
+  uint64_t num_rows() const { return num_rows_; }
+
+  const std::string& functional_name(uint32_t i) const {
+    return functional_names_[i];
+  }
+  const std::string& measure_name(uint32_t i) const {
+    return measure_names_[i];
+  }
+
+  /// Appends one record. `keys` must have num_functional() entries and
+  /// `measures` num_measures() entries.
+  Status Append(const std::vector<int64_t>& keys,
+                const std::vector<double>& measures);
+
+  int64_t key(uint32_t column, uint64_t row) const {
+    return key_columns_[column][row];
+  }
+  double measure(uint32_t column, uint64_t row) const {
+    return measure_columns_[column][row];
+  }
+
+  const std::vector<int64_t>& key_column(uint32_t column) const {
+    return key_columns_[column];
+  }
+  const std::vector<double>& measure_column(uint32_t column) const {
+    return measure_columns_[column];
+  }
+
+ private:
+  std::vector<std::string> functional_names_;
+  std::vector<std::string> measure_names_;
+  std::vector<std::vector<int64_t>> key_columns_;
+  std::vector<std::vector<double>> measure_columns_;
+  uint64_t num_rows_ = 0;
+};
+
+/// Maps raw int64 attribute values to dense cube indices in first-seen
+/// order, like a dictionary encoding.
+class Dictionary {
+ public:
+  /// Returns the index for `value`, inserting it if new.
+  uint32_t Encode(int64_t value);
+
+  /// Returns the index for `value` or an error if unseen.
+  Result<uint32_t> Lookup(int64_t value) const;
+
+  /// Value for a given index.
+  int64_t Decode(uint32_t index) const { return values_[index]; }
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+
+ private:
+  std::unordered_map<int64_t, uint32_t> index_;
+  std::vector<int64_t> values_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CUBE_RELATION_H_

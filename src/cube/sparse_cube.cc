@@ -1,0 +1,63 @@
+#include "cube/sparse_cube.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vecube {
+
+Status SparseCube::Add(const std::vector<uint32_t>& coords, double value) {
+  if (coords.size() != shape_.ndim()) {
+    return Status::InvalidArgument("coordinate arity mismatch");
+  }
+  for (uint32_t m = 0; m < shape_.ndim(); ++m) {
+    if (coords[m] >= shape_.extent(m)) {
+      return Status::OutOfRange("coordinate outside cube extent");
+    }
+  }
+  const uint64_t flat = shape_.FlatIndex(coords);
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), flat);
+  const size_t pos = static_cast<size_t>(it - indices_.begin());
+  if (it != indices_.end() && *it == flat) {
+    values_[pos] += value;
+  } else {
+    indices_.insert(it, flat);
+    values_.insert(values_.begin() + static_cast<ptrdiff_t>(pos), value);
+  }
+  return Status::OK();
+}
+
+double SparseCube::Get(const std::vector<uint32_t>& coords) const {
+  const uint64_t flat = shape_.FlatIndex(coords);
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), flat);
+  if (it != indices_.end() && *it == flat) {
+    return values_[static_cast<size_t>(it - indices_.begin())];
+  }
+  return 0.0;
+}
+
+Result<Tensor> SparseCube::Densify() const {
+  Tensor dense;
+  VECUBE_ASSIGN_OR_RETURN(dense, Tensor::Zeros(shape_.extents()));
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    dense[indices_[i]] = values_[i];
+  }
+  return dense;
+}
+
+Result<SparseCube> SparseCube::FromDense(const CubeShape& shape,
+                                         const Tensor& dense,
+                                         double zero_tol) {
+  if (dense.extents() != shape.extents()) {
+    return Status::InvalidArgument("dense tensor extents do not match shape");
+  }
+  SparseCube sparse(shape);
+  for (uint64_t flat = 0; flat < dense.size(); ++flat) {
+    if (std::fabs(dense[flat]) > zero_tol) {
+      sparse.indices_.push_back(flat);
+      sparse.values_.push_back(dense[flat]);
+    }
+  }
+  return sparse;
+}
+
+}  // namespace vecube

@@ -1,0 +1,63 @@
+// SparseCube: coordinate-list representation for sparse data cubes.
+//
+// The paper motivates sparsity ("the nature of the data in databases is
+// often such that it results in sparse and inefficient data cubes" [10])
+// and notes that wavelet-packet bases "have great capacity for compressing
+// potentially sparse data cubes" (Section 4.3). SparseCube is the compact
+// ingest/interchange format; decomposition operates on the densified form.
+
+#ifndef VECUBE_CUBE_SPARSE_CUBE_H_
+#define VECUBE_CUBE_SPARSE_CUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// COO-format sparse cube: sorted unique flat indices with values.
+class SparseCube {
+ public:
+  explicit SparseCube(CubeShape shape) : shape_(std::move(shape)) {}
+
+  const CubeShape& shape() const { return shape_; }
+  uint64_t num_nonzero() const { return indices_.size(); }
+
+  /// Fraction of cells that are non-zero.
+  double density() const {
+    return static_cast<double>(indices_.size()) /
+           static_cast<double>(shape_.volume());
+  }
+
+  /// Adds `value` to the cell at `coords` (accumulating SUM semantics).
+  Status Add(const std::vector<uint32_t>& coords, double value);
+
+  /// Value at `coords` (0 for absent cells).
+  double Get(const std::vector<uint32_t>& coords) const;
+
+  /// Converts to a dense Tensor.
+  Result<Tensor> Densify() const;
+
+  /// Builds a SparseCube from the non-zero cells of a dense tensor whose
+  /// extents match `shape`.
+  static Result<SparseCube> FromDense(const CubeShape& shape,
+                                      const Tensor& dense,
+                                      double zero_tol = 0.0);
+
+  const std::vector<uint64_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  // Kept sorted by flat index; Add uses binary search + insert, which is
+  // adequate for the bulk-build-then-read pattern of the experiments.
+  CubeShape shape_;
+  std::vector<uint64_t> indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CUBE_SPARSE_CUBE_H_

@@ -1,0 +1,109 @@
+#include "cube/tensor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace vecube {
+
+namespace {
+
+Result<uint64_t> CheckedProduct(const std::vector<uint32_t>& extents) {
+  if (extents.empty()) {
+    return Status::InvalidArgument("tensor must have at least one dimension");
+  }
+  uint64_t n = 1;
+  for (uint32_t e : extents) {
+    if (e == 0) return Status::InvalidArgument("tensor extent must be >= 1");
+    if (n > std::numeric_limits<uint64_t>::max() / e) {
+      return Status::InvalidArgument("tensor volume overflows 64 bits");
+    }
+    n *= e;
+  }
+  if (n > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("tensor volume exceeds 2^40 cells");
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<Tensor> Tensor::Zeros(std::vector<uint32_t> extents) {
+  uint64_t n;
+  VECUBE_ASSIGN_OR_RETURN(n, CheckedProduct(extents));
+  Tensor t;
+  t.extents_ = std::move(extents);
+  t.data_.assign(n, 0.0);
+  t.ComputeStrides();
+  return t;
+}
+
+Result<Tensor> Tensor::FromData(std::vector<uint32_t> extents,
+                                std::vector<double> data) {
+  uint64_t n;
+  VECUBE_ASSIGN_OR_RETURN(n, CheckedProduct(extents));
+  if (n != data.size()) {
+    return Status::InvalidArgument(
+        "data size " + std::to_string(data.size()) +
+        " does not match extents product " + std::to_string(n));
+  }
+  Tensor t;
+  t.extents_ = std::move(extents);
+  t.data_ = std::move(data);
+  t.ComputeStrides();
+  return t;
+}
+
+void Tensor::ComputeStrides() {
+  strides_.resize(extents_.size());
+  uint64_t stride = 1;
+  for (size_t i = extents_.size(); i-- > 0;) {
+    strides_[i] = stride;
+    stride *= extents_[i];
+  }
+}
+
+uint64_t Tensor::FlatIndex(const std::vector<uint32_t>& coords) const {
+  VECUBE_DCHECK(coords.size() == extents_.size());
+  uint64_t flat = 0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    VECUBE_DCHECK(coords[i] < extents_[i]);
+    flat += coords[i] * strides_[i];
+  }
+  return flat;
+}
+
+double Tensor::At(const std::vector<uint32_t>& coords) const {
+  return data_[FlatIndex(coords)];
+}
+
+void Tensor::Set(const std::vector<uint32_t>& coords, double value) {
+  data_[FlatIndex(coords)] = value;
+}
+
+double Tensor::Total() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+bool Tensor::ApproxEquals(const Tensor& other, double tol) const {
+  if (extents_ != other.extents_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(extents_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace vecube

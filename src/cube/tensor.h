@@ -1,0 +1,71 @@
+// Tensor: a dense row-major multi-dimensional array of doubles.
+//
+// The data cube itself and every materialized view element are Tensors.
+// Unlike CubeShape, a Tensor's extents need not be powers of two along
+// totally-aggregated dimensions (they become 1), so Tensor carries plain
+// extents and derives its own strides.
+
+#ifndef VECUBE_CUBE_TENSOR_H_
+#define VECUBE_CUBE_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace vecube {
+
+/// Dense row-major array of double cells.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-filled tensor. Extents may be any positive values.
+  static Result<Tensor> Zeros(std::vector<uint32_t> extents);
+
+  /// Wraps existing data; `data.size()` must equal the product of extents.
+  static Result<Tensor> FromData(std::vector<uint32_t> extents,
+                                 std::vector<double> data);
+
+  uint32_t ndim() const { return static_cast<uint32_t>(extents_.size()); }
+  const std::vector<uint32_t>& extents() const { return extents_; }
+  uint32_t extent(uint32_t dim) const { return extents_[dim]; }
+  uint64_t size() const { return data_.size(); }
+  uint64_t stride(uint32_t dim) const { return strides_[dim]; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  double* raw() { return data_.data(); }
+  const double* raw() const { return data_.data(); }
+
+  double& operator[](uint64_t flat) { return data_[flat]; }
+  double operator[](uint64_t flat) const { return data_[flat]; }
+
+  /// Element access by coordinates (bounds-checked in debug builds).
+  double At(const std::vector<uint32_t>& coords) const;
+  void Set(const std::vector<uint32_t>& coords, double value);
+
+  uint64_t FlatIndex(const std::vector<uint32_t>& coords) const;
+
+  /// Sum of all cells.
+  double Total() const;
+
+  /// True iff same extents and all cells within `tol` of each other.
+  bool ApproxEquals(const Tensor& other, double tol = 1e-9) const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<uint32_t> extents_;
+  std::vector<uint64_t> strides_;
+  std::vector<double> data_;
+
+  void ComputeStrides();
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CUBE_TENSOR_H_

@@ -1,0 +1,86 @@
+#include "haar/cascade.h"
+
+#include <string>
+
+namespace vecube {
+
+Result<Tensor> ApplyCascade(const Tensor& input,
+                            const std::vector<CascadeStep>& steps,
+                            OpCounter* ops) {
+  Tensor current = input;
+  for (const CascadeStep& step : steps) {
+    Tensor next;
+    if (step.kind == StepKind::kPartial) {
+      VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, step.dim, ops));
+    } else {
+      VECUBE_ASSIGN_OR_RETURN(next, PartialResidual(current, step.dim, ops));
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<Tensor> PartialSumK(const Tensor& input, uint32_t dim, uint32_t k,
+                           OpCounter* ops) {
+  if (dim >= input.ndim()) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  if ((input.extent(dim) >> k) << k != input.extent(dim) ||
+      (input.extent(dim) >> k) == 0) {
+    return Status::FailedPrecondition(
+        "extent " + std::to_string(input.extent(dim)) +
+        " does not admit a depth-" + std::to_string(k) + " cascade");
+  }
+  Tensor current = input;
+  for (uint32_t i = 0; i < k; ++i) {
+    Tensor next;
+    VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, dim, ops));
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<Tensor> TotalAggregate(const Tensor& input, uint32_t dim,
+                              OpCounter* ops) {
+  if (dim >= input.ndim()) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  Tensor current = input;
+  while (current.extent(dim) > 1) {
+    Tensor next;
+    VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, dim, ops));
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<Tensor> AggregateDims(const Tensor& input,
+                             const std::vector<uint32_t>& dims,
+                             OpCounter* ops) {
+  std::vector<bool> seen(input.ndim(), false);
+  Tensor current = input;
+  for (uint32_t dim : dims) {
+    if (dim >= input.ndim()) {
+      return Status::InvalidArgument("dimension out of range");
+    }
+    if (seen[dim]) {
+      return Status::InvalidArgument("duplicate dimension " +
+                                     std::to_string(dim));
+    }
+    seen[dim] = true;
+    Tensor next;
+    VECUBE_ASSIGN_OR_RETURN(next, TotalAggregate(current, dim, ops));
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<double> GrandTotal(const Tensor& input, OpCounter* ops) {
+  std::vector<uint32_t> all(input.ndim());
+  for (uint32_t m = 0; m < input.ndim(); ++m) all[m] = m;
+  Tensor total;
+  VECUBE_ASSIGN_OR_RETURN(total, AggregateDims(input, all, ops));
+  return total[0];
+}
+
+}  // namespace vecube

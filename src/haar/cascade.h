@@ -1,0 +1,64 @@
+// Cascades of the first partial aggregation pair (Sections 3.1-3.2).
+//
+// Distributivity (Property 2) lets the k-th partial aggregation be computed
+// by applying P1 recursively (the "telescopic" Eq. 8); separability
+// (Property 4) lets cascades along different dimensions commute (Eq. 14).
+// Total aggregation S^m is the log2(n_m)-fold cascade of P1^m (Eq. 15),
+// and the grand total S(A) cascades over every dimension (Eq. 16).
+
+#ifndef VECUBE_HAAR_CASCADE_H_
+#define VECUBE_HAAR_CASCADE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/tensor.h"
+#include "haar/transform.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// One analysis step of a cascade: which operator along which dimension.
+enum class StepKind : uint8_t {
+  kPartial,   ///< P1^dim
+  kResidual,  ///< R1^dim
+};
+
+struct CascadeStep {
+  uint32_t dim;
+  StepKind kind;
+
+  bool operator==(const CascadeStep&) const = default;
+};
+
+/// Applies a sequence of P1/R1 steps left to right. Any step order whose
+/// per-dimension subsequences match produces identical output
+/// (separability); the per-dimension order itself is significant.
+Result<Tensor> ApplyCascade(const Tensor& input,
+                            const std::vector<CascadeStep>& steps,
+                            OpCounter* ops = nullptr);
+
+/// k-th partial aggregation Pk^dim (Eq. 5 via the recursion of Eq. 7).
+/// Requires extent(dim) divisible by 2^k.
+Result<Tensor> PartialSumK(const Tensor& input, uint32_t dim, uint32_t k,
+                           OpCounter* ops = nullptr);
+
+/// Total aggregation S^dim (Eq. 15): cascades P1^dim until the extent
+/// along `dim` is 1. The dimension is kept with extent 1 (not dropped), so
+/// coordinates of other dimensions are stable.
+Result<Tensor> TotalAggregate(const Tensor& input, uint32_t dim,
+                              OpCounter* ops = nullptr);
+
+/// Totally aggregates along every dimension in `dims` (Eq. 16). Duplicate
+/// dimensions are an error.
+Result<Tensor> AggregateDims(const Tensor& input,
+                             const std::vector<uint32_t>& dims,
+                             OpCounter* ops = nullptr);
+
+/// The grand total S(A): totally aggregates every dimension and returns
+/// the single remaining cell.
+Result<double> GrandTotal(const Tensor& input, OpCounter* ops = nullptr);
+
+}  // namespace vecube
+
+#endif  // VECUBE_HAAR_CASCADE_H_

@@ -1,0 +1,168 @@
+#include "haar/transform.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace vecube {
+
+namespace {
+
+struct AxisGeometry {
+  uint64_t outer = 0;  // product of extents before `dim`
+  uint64_t n = 0;      // extent along `dim`
+  uint64_t inner = 0;  // product of extents after `dim` (== stride of dim)
+};
+
+Result<AxisGeometry> CheckAnalysisArgs(const Tensor& input, uint32_t dim) {
+  if (dim >= input.ndim()) {
+    return Status::InvalidArgument("dimension " + std::to_string(dim) +
+                                   " out of range for tensor of rank " +
+                                   std::to_string(input.ndim()));
+  }
+  AxisGeometry g;
+  g.n = input.extent(dim);
+  if (g.n < 2 || (g.n & 1) != 0) {
+    return Status::FailedPrecondition(
+        "partial aggregation along dimension " + std::to_string(dim) +
+        " requires an even extent >= 2, got " + std::to_string(g.n));
+  }
+  g.inner = input.stride(dim);
+  g.outer = input.size() / (g.n * g.inner);
+  return g;
+}
+
+std::vector<uint32_t> HalvedExtents(const Tensor& input, uint32_t dim) {
+  std::vector<uint32_t> extents = input.extents();
+  extents[dim] /= 2;
+  return extents;
+}
+
+}  // namespace
+
+Result<Tensor> PartialSum(const Tensor& input, uint32_t dim, OpCounter* ops) {
+  AxisGeometry g;
+  VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(HalvedExtents(input, dim)));
+
+  const double* src = input.raw();
+  double* dst = out.raw();
+  const uint64_t half = g.n / 2;
+  for (uint64_t o = 0; o < g.outer; ++o) {
+    const double* in_block = src + o * g.n * g.inner;
+    double* out_block = dst + o * half * g.inner;
+    for (uint64_t i = 0; i < half; ++i) {
+      const double* even = in_block + (2 * i) * g.inner;
+      const double* odd = even + g.inner;
+      double* row = out_block + i * g.inner;
+      for (uint64_t j = 0; j < g.inner; ++j) row[j] = even[j] + odd[j];
+    }
+  }
+  if (ops != nullptr) ops->adds += out.size();
+  return out;
+}
+
+Result<Tensor> PartialResidual(const Tensor& input, uint32_t dim,
+                               OpCounter* ops) {
+  AxisGeometry g;
+  VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(HalvedExtents(input, dim)));
+
+  const double* src = input.raw();
+  double* dst = out.raw();
+  const uint64_t half = g.n / 2;
+  for (uint64_t o = 0; o < g.outer; ++o) {
+    const double* in_block = src + o * g.n * g.inner;
+    double* out_block = dst + o * half * g.inner;
+    for (uint64_t i = 0; i < half; ++i) {
+      const double* even = in_block + (2 * i) * g.inner;
+      const double* odd = even + g.inner;
+      double* row = out_block + i * g.inner;
+      for (uint64_t j = 0; j < g.inner; ++j) row[j] = even[j] - odd[j];
+    }
+  }
+  if (ops != nullptr) ops->adds += out.size();
+  return out;
+}
+
+Status PartialPair(const Tensor& input, uint32_t dim, Tensor* partial,
+                   Tensor* residual, OpCounter* ops) {
+  if (partial == nullptr || residual == nullptr) {
+    return Status::InvalidArgument("output pointers must be non-null");
+  }
+  AxisGeometry g;
+  VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
+  VECUBE_ASSIGN_OR_RETURN(*partial, Tensor::Zeros(HalvedExtents(input, dim)));
+  VECUBE_ASSIGN_OR_RETURN(*residual, Tensor::Zeros(HalvedExtents(input, dim)));
+
+  const double* src = input.raw();
+  double* dst_p = partial->raw();
+  double* dst_r = residual->raw();
+  const uint64_t half = g.n / 2;
+  for (uint64_t o = 0; o < g.outer; ++o) {
+    const double* in_block = src + o * g.n * g.inner;
+    double* p_block = dst_p + o * half * g.inner;
+    double* r_block = dst_r + o * half * g.inner;
+    for (uint64_t i = 0; i < half; ++i) {
+      const double* even = in_block + (2 * i) * g.inner;
+      const double* odd = even + g.inner;
+      double* p_row = p_block + i * g.inner;
+      double* r_row = r_block + i * g.inner;
+      for (uint64_t j = 0; j < g.inner; ++j) {
+        const double a = even[j];
+        const double b = odd[j];
+        p_row[j] = a + b;
+        r_row[j] = a - b;
+      }
+    }
+  }
+  if (ops != nullptr) ops->adds += partial->size() + residual->size();
+  return Status::OK();
+}
+
+Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
+                              uint32_t dim, OpCounter* ops) {
+  if (partial.extents() != residual.extents()) {
+    return Status::InvalidArgument(
+        "partial and residual children must have identical extents (" +
+        partial.ShapeString() + " vs " + residual.ShapeString() + ")");
+  }
+  if (dim >= partial.ndim()) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  std::vector<uint32_t> extents = partial.extents();
+  extents[dim] *= 2;
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(std::move(extents)));
+
+  const uint64_t inner = partial.stride(dim);
+  const uint64_t half = partial.extent(dim);
+  const uint64_t outer = partial.size() / (half * inner);
+  const double* src_p = partial.raw();
+  const double* src_r = residual.raw();
+  double* dst = out.raw();
+  for (uint64_t o = 0; o < outer; ++o) {
+    const double* p_block = src_p + o * half * inner;
+    const double* r_block = src_r + o * half * inner;
+    double* out_block = dst + o * (2 * half) * inner;
+    for (uint64_t i = 0; i < half; ++i) {
+      const double* p_row = p_block + i * inner;
+      const double* r_row = r_block + i * inner;
+      double* even = out_block + (2 * i) * inner;
+      double* odd = even + inner;
+      for (uint64_t j = 0; j < inner; ++j) {
+        const double p = p_row[j];
+        const double r = r_row[j];
+        even[j] = 0.5 * (p + r);
+        odd[j] = 0.5 * (p - r);
+      }
+    }
+  }
+  if (ops != nullptr) ops->adds += out.size();
+  return out;
+}
+
+}  // namespace vecube

@@ -1,0 +1,60 @@
+// The first partial aggregation operator pair (P1^m, R1^m) of Section 3.1
+// and its perfect-reconstruction inverse.
+//
+//   P1^m(A)[.., i, ..] = A[.., 2i, ..] + A[.., 2i+1, ..]      (Eq. 1)
+//   R1^m(A)[.., i, ..] = A[.., 2i, ..] - A[.., 2i+1, ..]      (Eq. 2)
+//
+//   A[.., 2i,   ..] = (P + R) / 2                             (Eq. 3)
+//   A[.., 2i+1, ..] = (P - R) / 2                             (Eq. 4)
+//
+// This is the unnormalized two-tap Haar analysis/synthesis filter bank,
+// applied separably along one dimension (Property 4). The pair is
+// non-expansive: Vol(P) + Vol(R) = Vol(A) (Property 3).
+//
+// Operation accounting: each partial/residual output cell costs one
+// addition/subtraction, and each synthesis output cell costs one — this is
+// the unit in which the paper's processing costs (Eqs. 26-28, Procedure 3)
+// are expressed, and all kernels optionally report it so that measured
+// counts can be checked against the analytic cost model.
+
+#ifndef VECUBE_HAAR_TRANSFORM_H_
+#define VECUBE_HAAR_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Accumulates the add/subtract operation counts of transform kernels.
+struct OpCounter {
+  uint64_t adds = 0;
+
+  void Reset() { adds = 0; }
+};
+
+/// First partial aggregation P1 along `dim` (Eq. 1). The input extent along
+/// `dim` must be even; the output extent is halved. `ops` may be null.
+Result<Tensor> PartialSum(const Tensor& input, uint32_t dim,
+                          OpCounter* ops = nullptr);
+
+/// First partial residual R1 along `dim` (Eq. 2). Same shape contract as
+/// PartialSum.
+Result<Tensor> PartialResidual(const Tensor& input, uint32_t dim,
+                               OpCounter* ops = nullptr);
+
+/// Computes P1 and R1 in a single pass over the input (one load pair per
+/// output pair); cheaper than two separate calls when both are needed.
+Status PartialPair(const Tensor& input, uint32_t dim, Tensor* partial,
+                   Tensor* residual, OpCounter* ops = nullptr);
+
+/// Perfect reconstruction (Eqs. 3-4): rebuilds the parent from the partial
+/// and residual children along `dim`. `partial` and `residual` must have
+/// identical extents; the output doubles the extent along `dim`.
+Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
+                              uint32_t dim, OpCounter* ops = nullptr);
+
+}  // namespace vecube
+
+#endif  // VECUBE_HAAR_TRANSFORM_H_

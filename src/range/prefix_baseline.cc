@@ -1,0 +1,66 @@
+#include "range/prefix_baseline.h"
+
+#include <vector>
+
+namespace vecube {
+
+Result<PrefixSumCube> PrefixSumCube::Build(const CubeShape& shape,
+                                           const Tensor& cube) {
+  if (cube.extents() != shape.extents()) {
+    return Status::InvalidArgument("cube extents do not match shape");
+  }
+  Tensor prefix = cube;
+  // Running sums along each dimension in turn.
+  for (uint32_t m = 0; m < shape.ndim(); ++m) {
+    const uint64_t n = prefix.extent(m);
+    const uint64_t inner = prefix.stride(m);
+    const uint64_t outer = prefix.size() / (n * inner);
+    double* data = prefix.raw();
+    for (uint64_t o = 0; o < outer; ++o) {
+      double* block = data + o * n * inner;
+      for (uint64_t i = 1; i < n; ++i) {
+        double* current = block + i * inner;
+        const double* previous = current - inner;
+        for (uint64_t j = 0; j < inner; ++j) current[j] += previous[j];
+      }
+    }
+  }
+  return PrefixSumCube(shape, std::move(prefix));
+}
+
+Result<double> PrefixSumCube::RangeSum(const RangeSpec& range,
+                                       uint64_t* cell_reads) const {
+  RangeSpec checked;
+  VECUBE_ASSIGN_OR_RETURN(
+      checked, RangeSpec::Make(range.start, range.width, shape_));
+
+  const uint32_t d = shape_.ndim();
+  double total = 0.0;
+  uint64_t reads = 0;
+  // Inclusion-exclusion over the 2^d corners: corner bit m picks the
+  // lower (exclusive) face along dimension m.
+  for (uint32_t mask = 0; mask < (1u << d); ++mask) {
+    std::vector<uint32_t> coords(d);
+    int sign = +1;
+    bool skip = false;
+    for (uint32_t m = 0; m < d; ++m) {
+      if ((mask >> m) & 1u) {
+        if (range.start[m] == 0) {
+          skip = true;  // empty lower face contributes zero
+          break;
+        }
+        coords[m] = range.start[m] - 1;
+        sign = -sign;
+      } else {
+        coords[m] = range.start[m] + range.width[m] - 1;
+      }
+    }
+    if (skip) continue;
+    total += sign * prefix_.At(coords);
+    ++reads;
+  }
+  if (cell_reads != nullptr) *cell_reads += reads;
+  return total;
+}
+
+}  // namespace vecube

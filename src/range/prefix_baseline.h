@@ -1,0 +1,44 @@
+// Prefix-sum cube baseline for range aggregation (Ho et al. [9] style).
+//
+// The classic comparator the paper cites for range queries: precompute
+// the d-dimensional inclusive prefix-sum cube P, then any range sum is an
+// inclusion-exclusion over its 2^d corners. Storage Vol(A); query cost
+// 2^d reads regardless of range size — but the structure is rigid, while
+// the view element pyramid shares storage with ordinary view assembly.
+
+#ifndef VECUBE_RANGE_PREFIX_BASELINE_H_
+#define VECUBE_RANGE_PREFIX_BASELINE_H_
+
+#include <cstdint>
+
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "range/range.h"
+#include "util/result.h"
+
+namespace vecube {
+
+class PrefixSumCube {
+ public:
+  /// Builds the inclusive prefix-sum cube in O(d * Vol(A)) additions.
+  static Result<PrefixSumCube> Build(const CubeShape& shape,
+                                     const Tensor& cube);
+
+  /// Range sum via inclusion-exclusion; exactly 2^d cell reads.
+  /// `cell_reads` optional accounting.
+  Result<double> RangeSum(const RangeSpec& range,
+                          uint64_t* cell_reads = nullptr) const;
+
+  const Tensor& prefix() const { return prefix_; }
+
+ private:
+  PrefixSumCube(CubeShape shape, Tensor prefix)
+      : shape_(std::move(shape)), prefix_(std::move(prefix)) {}
+
+  CubeShape shape_;
+  Tensor prefix_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_RANGE_PREFIX_BASELINE_H_

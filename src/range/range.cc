@@ -1,0 +1,62 @@
+#include "range/range.h"
+
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace vecube {
+
+Result<RangeSpec> RangeSpec::Make(std::vector<uint32_t> start,
+                                  std::vector<uint32_t> width,
+                                  const CubeShape& shape) {
+  if (start.size() != shape.ndim() || width.size() != shape.ndim()) {
+    return Status::InvalidArgument("range arity does not match cube");
+  }
+  for (uint32_t m = 0; m < shape.ndim(); ++m) {
+    if (width[m] == 0) {
+      return Status::InvalidArgument("range width must be >= 1");
+    }
+    if (static_cast<uint64_t>(start[m]) + width[m] > shape.extent(m)) {
+      return Status::OutOfRange(
+          "range exceeds extent of dimension " + std::to_string(m));
+    }
+  }
+  return RangeSpec{std::move(start), std::move(width)};
+}
+
+uint64_t RangeSpec::Volume() const {
+  uint64_t volume = 1;
+  for (uint32_t w : width) volume *= w;
+  return volume;
+}
+
+std::string RangeSpec::ToString() const {
+  std::string out = "{";
+  for (uint32_t m = 0; m < ndim(); ++m) {
+    if (m > 0) out += ", ";
+    out += "[" + std::to_string(start[m]) + ":" +
+           std::to_string(start[m] + width[m]) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<DyadicBlock> DecomposeInterval(uint32_t start, uint32_t width,
+                                           uint32_t log_extent) {
+  std::vector<DyadicBlock> blocks;
+  uint64_t pos = start;
+  uint64_t remaining = width;
+  while (remaining > 0) {
+    // Largest power of two both aligning with pos and fitting in remaining.
+    uint32_t level = (pos == 0) ? log_extent
+                                : ExactLog2(LargestDyadicFactor(pos));
+    if (level > log_extent) level = log_extent;
+    while ((uint64_t{1} << level) > remaining) --level;
+    blocks.push_back(
+        DyadicBlock{level, static_cast<uint32_t>(pos >> level)});
+    pos += uint64_t{1} << level;
+    remaining -= uint64_t{1} << level;
+  }
+  return blocks;
+}
+
+}  // namespace vecube

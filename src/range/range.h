@@ -1,0 +1,59 @@
+// Range-aggregation queries (Section 6).
+//
+// A range is an embedded sub-cube G(A) = A[x0:w0, ..., x_{d-1}:w_{d-1}]
+// (Eq. 35) and the range-aggregation S(G(A)) sums the measure over it
+// (Eq. 36). The commutativity P1^m ∘ G^m = G2^m ∘ P1^m (Eq. 39) means a
+// range aligned to powers of two can be read directly from the k-th
+// partial-aggregation intermediate element (Eq. 40); a general range
+// decomposes into maximal aligned dyadic blocks, each a single cell of
+// some intermediate element.
+
+#ifndef VECUBE_RANGE_RANGE_H_
+#define VECUBE_RANGE_RANGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/shape.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// A half-open hyper-rectangular range: per dimension [start, start+width).
+struct RangeSpec {
+  std::vector<uint32_t> start;
+  std::vector<uint32_t> width;
+
+  /// Validates bounds against the shape; widths must be >= 1.
+  static Result<RangeSpec> Make(std::vector<uint32_t> start,
+                                std::vector<uint32_t> width,
+                                const CubeShape& shape);
+
+  uint32_t ndim() const { return static_cast<uint32_t>(start.size()); }
+
+  /// Number of base cells in the range.
+  uint64_t Volume() const;
+
+  std::string ToString() const;
+};
+
+/// One maximal aligned dyadic block of a 1-D interval: covers
+/// [index << level, (index + 1) << level), i.e. cell `index` of the
+/// level-`level` partial aggregation along that dimension.
+struct DyadicBlock {
+  uint32_t level = 0;
+  uint32_t index = 0;
+
+  bool operator==(const DyadicBlock&) const = default;
+};
+
+/// Canonical greedy decomposition of [start, start+width) into maximal
+/// aligned dyadic blocks; at most 2*log2(n) blocks. `log_extent` bounds
+/// the block size by the dimension's extent.
+std::vector<DyadicBlock> DecomposeInterval(uint32_t start, uint32_t width,
+                                           uint32_t log_extent);
+
+}  // namespace vecube
+
+#endif  // VECUBE_RANGE_RANGE_H_

@@ -1,0 +1,54 @@
+#include "range/slice.h"
+
+#include <vector>
+
+namespace vecube {
+
+Result<Tensor> ExtractSubcube(const Tensor& cube, const CubeShape& shape,
+                              const RangeSpec& range) {
+  if (cube.extents() != shape.extents()) {
+    return Status::InvalidArgument("cube extents do not match shape");
+  }
+  RangeSpec checked;
+  VECUBE_ASSIGN_OR_RETURN(
+      checked, RangeSpec::Make(range.start, range.width, shape));
+
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(range.width));
+  const uint32_t d = shape.ndim();
+  std::vector<uint32_t> src(range.start);
+  std::vector<uint32_t> dst(d, 0);
+  for (;;) {
+    out[out.FlatIndex(dst)] = cube.At(src);
+    uint32_t m = 0;
+    for (; m < d; ++m) {
+      if (++dst[m] < range.width[m]) {
+        src[m] = range.start[m] + dst[m];
+        break;
+      }
+      dst[m] = 0;
+      src[m] = range.start[m];
+    }
+    if (m == d) break;
+  }
+  return out;
+}
+
+Result<Tensor> ExtractSlice(const Tensor& cube, const CubeShape& shape,
+                            uint32_t dim, uint32_t coordinate) {
+  if (dim >= shape.ndim()) {
+    return Status::InvalidArgument("dimension out of range");
+  }
+  if (coordinate >= shape.extent(dim)) {
+    return Status::OutOfRange("slice coordinate outside extent");
+  }
+  std::vector<uint32_t> start(shape.ndim(), 0);
+  std::vector<uint32_t> width(shape.extents());
+  start[dim] = coordinate;
+  width[dim] = 1;
+  RangeSpec range;
+  VECUBE_ASSIGN_OR_RETURN(range, RangeSpec::Make(start, width, shape));
+  return ExtractSubcube(cube, shape, range);
+}
+
+}  // namespace vecube

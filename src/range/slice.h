@@ -1,0 +1,32 @@
+// Sub-cube extraction (slice / dice).
+//
+// The range engine of Section 6 answers *aggregations* over a range; OLAP
+// front-ends also need the un-aggregated sub-cube itself (dice) and
+// single-coordinate slices for drill-through. These are plain tensor
+// operations, provided here so applications do not hand-roll indexing.
+
+#ifndef VECUBE_RANGE_SLICE_H_
+#define VECUBE_RANGE_SLICE_H_
+
+#include <cstdint>
+
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "range/range.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Copies the embedded sub-cube G(A) (Eq. 35) into its own tensor of
+/// extents `range.width`.
+Result<Tensor> ExtractSubcube(const Tensor& cube, const CubeShape& shape,
+                              const RangeSpec& range);
+
+/// Fixes dimension `dim` at `coordinate` and returns the slice with that
+/// dimension reduced to extent 1.
+Result<Tensor> ExtractSlice(const Tensor& cube, const CubeShape& shape,
+                            uint32_t dim, uint32_t coordinate);
+
+}  // namespace vecube
+
+#endif  // VECUBE_RANGE_SLICE_H_

@@ -1,0 +1,84 @@
+#include "rolap/group_by.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vecube {
+
+Result<Tensor> GroupBySum(const Relation& relation, const CubeShape& shape,
+                          uint32_t aggregated_mask, uint32_t measure_column,
+                          GroupByStats* stats) {
+  if (relation.num_functional() != shape.ndim()) {
+    return Status::InvalidArgument("relation arity does not match cube");
+  }
+  if (measure_column >= relation.num_measures()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+  if (shape.ndim() < 32 && (aggregated_mask >> shape.ndim()) != 0) {
+    return Status::InvalidArgument("aggregation mask has extra bits");
+  }
+
+  // Result layout matches the cube view: aggregated dims have extent 1.
+  std::vector<uint32_t> extents(shape.extents());
+  for (uint32_t m = 0; m < shape.ndim(); ++m) {
+    if ((aggregated_mask >> m) & 1u) extents[m] = 1;
+  }
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(std::move(extents)));
+
+  // Hash aggregation keyed by the flat group coordinates. (A dense array
+  // would do here since groups are bounded by the view volume; the hash
+  // table is the honest ROLAP implementation, where the executor does not
+  // know the group domain in advance.)
+  std::unordered_map<uint64_t, double> groups;
+  std::vector<uint32_t> coords(shape.ndim());
+  for (uint64_t row = 0; row < relation.num_rows(); ++row) {
+    for (uint32_t m = 0; m < shape.ndim(); ++m) {
+      const int64_t key = relation.key(m, row);
+      if (key < 0 || static_cast<uint64_t>(key) >= shape.extent(m)) {
+        return Status::OutOfRange("row " + std::to_string(row) +
+                                  ": key outside dimension extent");
+      }
+      coords[m] = ((aggregated_mask >> m) & 1u)
+                      ? 0u
+                      : static_cast<uint32_t>(key);
+    }
+    groups[out.FlatIndex(coords)] += relation.measure(measure_column, row);
+    if (stats != nullptr) ++stats->rows_scanned;
+  }
+  for (const auto& [flat, sum] : groups) {
+    out[flat] = sum;
+  }
+  if (stats != nullptr) stats->groups += groups.size();
+  return out;
+}
+
+Result<double> ScanRangeSum(const Relation& relation, const CubeShape& shape,
+                            const std::vector<uint32_t>& start,
+                            const std::vector<uint32_t>& width,
+                            uint32_t measure_column, GroupByStats* stats) {
+  if (relation.num_functional() != shape.ndim() ||
+      start.size() != shape.ndim() || width.size() != shape.ndim()) {
+    return Status::InvalidArgument("arity mismatch");
+  }
+  if (measure_column >= relation.num_measures()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+  double total = 0.0;
+  for (uint64_t row = 0; row < relation.num_rows(); ++row) {
+    bool inside = true;
+    for (uint32_t m = 0; m < shape.ndim(); ++m) {
+      const int64_t key = relation.key(m, row);
+      if (key < static_cast<int64_t>(start[m]) ||
+          key >= static_cast<int64_t>(start[m] + width[m])) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) total += relation.measure(measure_column, row);
+    if (stats != nullptr) ++stats->rows_scanned;
+  }
+  return total;
+}
+
+}  // namespace vecube

@@ -1,0 +1,51 @@
+// ROLAP baseline: answering aggregated views directly from the relation.
+//
+// The paper's introduction contrasts MOLAP (explicit multi-dimensional
+// arrays, which the view element method builds on) with ROLAP (standard
+// relational processing, where each view is a GROUP BY over the fact
+// table). This module implements the ROLAP side — a straightforward
+// hash-aggregation GROUP BY executor — so benchmarks can show what the
+// cube machinery is being compared against: every view costs a full
+// relation scan, regardless of how small the answer is, and nothing is
+// reused between views.
+
+#ifndef VECUBE_ROLAP_GROUP_BY_H_
+#define VECUBE_ROLAP_GROUP_BY_H_
+
+#include <cstdint>
+
+#include "cube/relation.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// Per-query accounting for the ROLAP path.
+struct GroupByStats {
+  uint64_t rows_scanned = 0;
+  uint64_t groups = 0;
+};
+
+/// SELECT SUM(measure) ... GROUP BY the dimensions NOT in
+/// `aggregated_mask` (bit m set = dimension m aggregated away), answered
+/// by one scan + hash aggregation. The result tensor matches the layout
+/// of the corresponding cube view (aggregated dimensions have extent 1),
+/// so it is directly comparable to AssemblyEngine::AssembleView.
+/// Keys must be direct indices in [0, extent) (KeyMapping::kDirect).
+Result<Tensor> GroupBySum(const Relation& relation, const CubeShape& shape,
+                          uint32_t aggregated_mask,
+                          uint32_t measure_column = 0,
+                          GroupByStats* stats = nullptr);
+
+/// The range-aggregation of Eq. 36 on the ROLAP side: one scan with a
+/// predicate per dimension.
+Result<double> ScanRangeSum(const Relation& relation, const CubeShape& shape,
+                            const std::vector<uint32_t>& start,
+                            const std::vector<uint32_t>& width,
+                            uint32_t measure_column = 0,
+                            GroupByStats* stats = nullptr);
+
+}  // namespace vecube
+
+#endif  // VECUBE_ROLAP_GROUP_BY_H_

@@ -1,0 +1,69 @@
+// Configuration advisor: what-if analysis across storage budgets.
+//
+// A database administrator tuning a cube wants the whole trade-off curve,
+// not a single point: for each candidate storage budget, what element set
+// would be chosen, what would queries cost, and where do diminishing
+// returns set in. The advisor wraps Algorithm 1 + Algorithm 2 across a
+// budget sweep and summarizes the frontier, including the canned
+// alternatives (cube-only, wavelet basis, full view hierarchy) for
+// context.
+
+#ifndef VECUBE_SELECT_ADVISOR_H_
+#define VECUBE_SELECT_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/shape.h"
+#include "util/result.h"
+#include "workload/population.h"
+
+namespace vecube {
+
+/// One advised configuration.
+struct AdvisorPoint {
+  uint64_t storage_cells = 0;
+  double relative_storage = 0.0;   ///< storage / Vol(A)
+  double processing_cost = 0.0;    ///< Procedure-3 weighted cost
+  std::vector<ElementId> selected;
+};
+
+struct AdvisorReport {
+  /// The non-expansive optimum (Algorithm 1) — always present.
+  AdvisorPoint basis;
+  /// One point per requested budget (those above the basis storage).
+  std::vector<AdvisorPoint> budget_points;
+  /// Canned comparators, evaluated under the same cost model.
+  double cube_only_cost = 0.0;
+  double wavelet_cost = 0.0;
+  double view_hierarchy_cost = 0.0;
+  uint64_t view_hierarchy_storage = 0;
+  /// Smallest storage achieving zero processing cost within the sweep,
+  /// or 0 if never reached.
+  uint64_t zero_cost_storage = 0;
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+struct AdvisorOptions {
+  /// Storage budgets (in cells) to evaluate, in addition to the
+  /// non-expansive basis. Unsorted and duplicate values are fine.
+  std::vector<uint64_t> budgets;
+  /// Candidate pool for the greedy additions.
+  bool elements_pool = true;  ///< false = aggregated views only
+  /// Apply the obsolete-element pruning refinement at each greedy stage.
+  bool prune_obsolete = true;
+};
+
+/// Runs the sweep. The cube's element graph must fit the dense selection
+/// machinery (see Algorithm 1 limits).
+Result<AdvisorReport> AdviseConfiguration(const CubeShape& shape,
+                                          const QueryPopulation& population,
+                                          const AdvisorOptions& options);
+
+}  // namespace vecube
+
+#endif  // VECUBE_SELECT_ADVISOR_H_

@@ -1,0 +1,184 @@
+#include "select/algorithm1.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/graph.h"
+#include "util/logging.h"
+
+namespace vecube {
+
+namespace {
+
+constexpr uint32_t kMaxDims = 16;
+constexpr uint64_t kMaxGraphNodes = uint64_t{1} << 24;
+
+// Allocation-free description of one query's frequency rectangle.
+struct QueryGeom {
+  std::array<uint64_t, kMaxDims> lo;
+  std::array<uint64_t, kMaxDims> hi;
+  uint64_t volume;
+  double frequency;
+};
+
+// The DP works on raw per-dimension codes to avoid per-node allocation.
+class SpaceFrequencyDp {
+ public:
+  SpaceFrequencyDp(const CubeShape& shape, const QueryPopulation& population)
+      : shape_(shape), indexer_(shape) {
+    d_ = shape.ndim();
+    for (uint32_t m = 0; m < d_; ++m) {
+      log_extent_[m] = shape.log_extent(m);
+      extent_[m] = shape.extent(m);
+    }
+    for (const QuerySpec& q : population.queries()) {
+      QueryGeom geom;
+      geom.volume = 1;
+      for (uint32_t m = 0; m < d_; ++m) {
+        const DimCode& c = q.view.dim(m);
+        const uint32_t shift = log_extent_[m] - c.level;
+        geom.lo[m] = static_cast<uint64_t>(c.offset) << shift;
+        geom.hi[m] = static_cast<uint64_t>(c.offset + 1) << shift;
+        geom.volume *= geom.hi[m] - geom.lo[m];
+      }
+      geom.frequency = q.frequency;
+      queries_.push_back(geom);
+    }
+    dcost_.assign(indexer_.size(), -1.0);  // -1 == unvisited
+    choice_.assign(indexer_.size(), kKeep);
+  }
+
+  double SolveRoot() {
+    std::array<DimCode, kMaxDims> codes{};
+    return Solve(codes.data());
+  }
+
+  void Extract(std::vector<ElementId>* out) const {
+    std::array<DimCode, kMaxDims> codes{};
+    ExtractRec(codes.data(), out);
+  }
+
+ private:
+  static constexpr int8_t kKeep = -1;
+
+  uint64_t EncodeIndex(const DimCode* codes) const {
+    uint64_t index = 0;
+    uint64_t weight = 1;
+    for (uint32_t m = d_; m-- > 0;) {
+      const uint64_t code_index =
+          ((uint64_t{1} << codes[m].level) - 1) + codes[m].offset;
+      index += code_index * weight;
+      weight *= 2ull * extent_[m] - 1;
+    }
+    return index;
+  }
+
+  // C_n of Eq. 29 against all queries, allocation-free.
+  double SupportCostOf(const DimCode* codes) const {
+    // Element geometry in 2^-K units.
+    std::array<uint64_t, kMaxDims> lo, hi;
+    uint64_t volume = 1;
+    for (uint32_t m = 0; m < d_; ++m) {
+      const uint32_t shift = log_extent_[m] - codes[m].level;
+      lo[m] = static_cast<uint64_t>(codes[m].offset) << shift;
+      hi[m] = static_cast<uint64_t>(codes[m].offset + 1) << shift;
+      volume *= hi[m] - lo[m];
+    }
+    double cost = 0.0;
+    for (const QueryGeom& q : queries_) {
+      uint64_t overlap = 1;
+      for (uint32_t m = 0; m < d_; ++m) {
+        const uint64_t olo = std::max(lo[m], q.lo[m]);
+        const uint64_t ohi = std::min(hi[m], q.hi[m]);
+        if (ohi <= olo) {
+          overlap = 0;
+          break;
+        }
+        overlap *= ohi - olo;
+      }
+      if (overlap == 0) continue;
+      cost += q.frequency *
+              static_cast<double>((volume - overlap) + (q.volume - overlap));
+    }
+    return cost;
+  }
+
+  double Solve(DimCode* codes) {
+    const uint64_t index = EncodeIndex(codes);
+    if (dcost_[index] >= 0.0) return dcost_[index];
+
+    double best = SupportCostOf(codes);
+    int8_t best_choice = kKeep;
+    for (uint32_t m = 0; m < d_; ++m) {
+      if (codes[m].level >= log_extent_[m]) continue;
+      const DimCode saved = codes[m];
+      codes[m] = DimCode{saved.level + 1, saved.offset * 2};
+      const double tp = Solve(codes);
+      codes[m] = DimCode{saved.level + 1, saved.offset * 2 + 1};
+      const double tr = Solve(codes);
+      codes[m] = saved;
+      const double tm = tp + tr;
+      if (tm < best) {
+        best = tm;
+        best_choice = static_cast<int8_t>(m);
+      }
+    }
+    dcost_[index] = best;
+    choice_[index] = best_choice;
+    return best;
+  }
+
+  void ExtractRec(DimCode* codes, std::vector<ElementId>* out) const {
+    const uint64_t index = EncodeIndex(codes);
+    VECUBE_CHECK(dcost_[index] >= 0.0);
+    if (choice_[index] == kKeep) {
+      std::vector<DimCode> vec(codes, codes + d_);
+      auto id = ElementId::Make(std::move(vec), shape_);
+      VECUBE_CHECK(id.ok());
+      out->push_back(*id);
+      return;
+    }
+    const uint32_t m = static_cast<uint32_t>(choice_[index]);
+    const DimCode saved = codes[m];
+    codes[m] = DimCode{saved.level + 1, saved.offset * 2};
+    ExtractRec(codes, out);
+    codes[m] = DimCode{saved.level + 1, saved.offset * 2 + 1};
+    ExtractRec(codes, out);
+    codes[m] = saved;
+  }
+
+  const CubeShape& shape_;
+  ElementIndexer indexer_;
+  uint32_t d_ = 0;
+  std::array<uint32_t, kMaxDims> log_extent_{};
+  std::array<uint32_t, kMaxDims> extent_{};
+  std::vector<QueryGeom> queries_;
+  std::vector<double> dcost_;
+  std::vector<int8_t> choice_;
+};
+
+}  // namespace
+
+Result<BasisSelection> SelectMinCostBasis(const CubeShape& shape,
+                                          const QueryPopulation& population) {
+  if (shape.ndim() > kMaxDims) {
+    return Status::InvalidArgument("at most 16 dimensions supported");
+  }
+  if (ViewElementGraph(shape).NumElements() > kMaxGraphNodes) {
+    return Status::InvalidArgument(
+        "view element graph too large for the dense DP (> 2^24 nodes)");
+  }
+  for (const QuerySpec& q : population.queries()) {
+    if (q.view.ndim() != shape.ndim()) {
+      return Status::InvalidArgument("query arity does not match cube");
+    }
+  }
+  SpaceFrequencyDp dp(shape, population);
+  BasisSelection selection;
+  selection.predicted_cost = dp.SolveRoot();
+  dp.Extract(&selection.basis);
+  std::sort(selection.basis.begin(), selection.basis.end());
+  return selection;
+}
+
+}  // namespace vecube

@@ -1,0 +1,41 @@
+// Algorithm 1: minimum-cost non-redundant basis selection (Section 5.2).
+//
+// Assign every view element its support cost C_n (Eq. 29), then solve the
+// space-frequency DP
+//
+//   D(V) = min( C(V),  min_m  D(P1^m V) + D(R1^m V) )          (Eqs. 30-31)
+//
+// and extract the argmin tiling with Procedure 2. The result is the
+// complete, non-redundant view element basis of minimum pair-model cost
+// among all bases reachable by recursive splitting (see DESIGN.md for the
+// d >= 3 guillotine caveat). The DP touches each of the N_ve nodes once,
+// which is the O((d+1) N_ve) bound the paper quotes.
+
+#ifndef VECUBE_SELECT_ALGORITHM1_H_
+#define VECUBE_SELECT_ALGORITHM1_H_
+
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/shape.h"
+#include "util/result.h"
+#include "workload/population.h"
+
+namespace vecube {
+
+/// Result of basis selection.
+struct BasisSelection {
+  /// The selected complete, non-redundant basis (sorted by id).
+  std::vector<ElementId> basis;
+  /// D(root): the predicted pair-model processing cost (Eq. 29 weighted).
+  double predicted_cost = 0.0;
+};
+
+/// Runs Algorithm 1. Cube dimensionality is limited to 16 and the graph
+/// size N_ve must fit in memory (about 2^24 nodes).
+Result<BasisSelection> SelectMinCostBasis(const CubeShape& shape,
+                                          const QueryPopulation& population);
+
+}  // namespace vecube
+
+#endif  // VECUBE_SELECT_ALGORITHM1_H_

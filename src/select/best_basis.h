@@ -1,0 +1,44 @@
+// Wavelet-packet best-basis selection for cube compression.
+//
+// Section 4.3: "by selecting the bases that best isolate the non-zero
+// data from the zero areas of the data cube, the view element wavelet
+// packet basis can represent the data cube in a compact form." The paper
+// leaves this unexplored; we implement the Coifman-Wickerhauser [5]
+// best-basis search with a significance-count cost: choose the complete,
+// non-redundant tiling of the frequency plane minimizing the number of
+// coefficients whose magnitude exceeds a threshold.
+
+#ifndef VECUBE_SELECT_BEST_BASIS_H_
+#define VECUBE_SELECT_BEST_BASIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+struct CompressionBasis {
+  /// The selected non-redundant basis (a wavelet packet basis).
+  std::vector<ElementId> basis;
+  /// Coefficients with |value| > threshold across the basis — what a
+  /// sparse encoding would need to store.
+  uint64_t significant_coefficients = 0;
+  /// Non-zero cells of the original cube, for comparison.
+  uint64_t cube_nonzeros = 0;
+};
+
+/// Runs the best-basis DP: cost(V) = #significant coefficients of V's
+/// data, minimized over all recursive tilings. Exponential in the graph
+/// size; intended for cubes whose full element graph fits in memory
+/// (N_ve <= ~2^22).
+Result<CompressionBasis> SelectCompressionBasis(const CubeShape& shape,
+                                                const Tensor& cube,
+                                                double threshold);
+
+}  // namespace vecube
+
+#endif  // VECUBE_SELECT_BEST_BASIS_H_

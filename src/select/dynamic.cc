@@ -1,0 +1,86 @@
+#include "select/dynamic.h"
+
+#include "core/basis.h"
+#include "select/algorithm1.h"
+#include "select/algorithm2.h"
+#include "util/logging.h"
+#include "workload/population.h"
+
+namespace vecube {
+
+Result<std::unique_ptr<DynamicAssembler>> DynamicAssembler::Make(
+    const CubeShape& shape, const Tensor& cube, DynamicOptions options) {
+  if (cube.extents() != shape.extents()) {
+    return Status::InvalidArgument("cube extents do not match shape");
+  }
+  std::unique_ptr<DynamicAssembler> assembler(
+      new DynamicAssembler(shape, options));
+  VECUBE_RETURN_NOT_OK(
+      assembler->store_.Put(ElementId::Root(shape.ndim()), cube));
+  assembler->engine_ = std::make_unique<AssemblyEngine>(&assembler->store_);
+  return assembler;
+}
+
+Result<Tensor> DynamicAssembler::Query(const ElementId& view, OpCounter* ops) {
+  Tensor answer;
+  VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(view, ops));
+  tracker_.Record(view);
+  ++queries_served_;
+  VECUBE_RETURN_NOT_OK(MaybeReconfigure());
+  return answer;
+}
+
+Status DynamicAssembler::MaybeReconfigure() {
+  if (queries_served_ - queries_at_last_reconfig_ <
+      options_.min_queries_between_reconfigs) {
+    return Status::OK();
+  }
+  if (tracker_.L1Drift(baseline_distribution_) < options_.drift_threshold) {
+    return Status::OK();
+  }
+  return Reconfigure();
+}
+
+Status DynamicAssembler::Reconfigure() {
+  const auto distribution = tracker_.Distribution();
+  if (distribution.empty()) {
+    return Status::FailedPrecondition("no accesses observed yet");
+  }
+  QueryPopulation population;
+  VECUBE_ASSIGN_OR_RETURN(population,
+                          FixedPopulation(distribution, shape_));
+
+  BasisSelection selection;
+  VECUBE_ASSIGN_OR_RETURN(selection, SelectMinCostBasis(shape_, population));
+  std::vector<ElementId> target_set = selection.basis;
+
+  if (options_.storage_budget_cells > StorageVolume(target_set, shape_)) {
+    GreedyOptions greedy;
+    greedy.storage_target_cells = options_.storage_budget_cells;
+    // Online reconfiguration must be cheap: restrict the redundancy pass
+    // to the 2^d aggregated views (the objects queries actually name)
+    // rather than scanning the whole element graph per greedy stage.
+    greedy.pool = CandidatePool::kAggregatedViews;
+    std::vector<GreedyStep> frontier;
+    VECUBE_ASSIGN_OR_RETURN(
+        frontier, GreedySelect(shape_, population, target_set, greedy));
+    target_set = frontier.back().selected;
+  }
+
+  // Migrate: assemble every element of the new set from the current store
+  // (complete by construction), then swap.
+  ElementStore next(shape_);
+  for (const ElementId& id : target_set) {
+    Tensor data;
+    VECUBE_ASSIGN_OR_RETURN(data, engine_->Assemble(id));
+    VECUBE_RETURN_NOT_OK(next.Put(id, std::move(data)));
+  }
+  store_ = std::move(next);
+  engine_ = std::make_unique<AssemblyEngine>(&store_);
+  baseline_distribution_ = distribution;
+  queries_at_last_reconfig_ = queries_served_;
+  ++reconfigurations_;
+  return Status::OK();
+}
+
+}  // namespace vecube

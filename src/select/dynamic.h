@@ -1,0 +1,87 @@
+// DynamicAssembler: the paper's titular loop — dynamic assembly of views
+// with online adaptation of the materialized view element set.
+//
+// Section 5: "the frequencies of access can be observed on-line, allowing
+// the system to dynamically reconfigure." The assembler serves queries
+// from the current element store, tracks the observed access
+// distribution, and when it drifts far enough from the distribution the
+// current basis was selected for, re-runs Algorithm 1 (and optionally the
+// greedy Algorithm 2 under a storage budget) and migrates: every element
+// of the new set is *assembled from the current store* — never recomputed
+// from base data — exploiting the two-way dependencies of the view
+// element graph.
+
+#ifndef VECUBE_SELECT_DYNAMIC_H_
+#define VECUBE_SELECT_DYNAMIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/element_id.h"
+#include "core/store.h"
+#include "core/tracker.h"
+#include "cube/shape.h"
+#include "cube/tensor.h"
+#include "util/result.h"
+
+namespace vecube {
+
+struct DynamicOptions {
+  /// Reconfigure when the observed distribution's L1 distance from the
+  /// distribution the current basis was selected for exceeds this.
+  double drift_threshold = 0.5;
+  /// Never reconfigure more often than this many queries.
+  uint64_t min_queries_between_reconfigs = 16;
+  /// Exponential decay applied to access history (1.0 = plain counts).
+  double access_decay = 0.98;
+  /// If > 0, after Algorithm 1 run the greedy Algorithm 2 up to this
+  /// storage budget (in cells) to add redundant elements.
+  uint64_t storage_budget_cells = 0;
+};
+
+/// Serves aggregated-view queries over an adaptively chosen element basis.
+class DynamicAssembler {
+ public:
+  /// Starts with the trivial basis {A} materialized from `cube`.
+  static Result<std::unique_ptr<DynamicAssembler>> Make(
+      const CubeShape& shape, const Tensor& cube, DynamicOptions options);
+
+  /// Answers a query for `view`, records the access, and possibly
+  /// reconfigures *after* answering. `ops` accrues assembly operations.
+  Result<Tensor> Query(const ElementId& view, OpCounter* ops = nullptr);
+
+  /// Forces reselection against the currently observed distribution.
+  Status Reconfigure();
+
+  const ElementStore& store() const { return store_; }
+  uint64_t reconfiguration_count() const { return reconfigurations_; }
+  uint64_t queries_served() const { return queries_served_; }
+  const AccessTracker& tracker() const { return tracker_; }
+
+ private:
+  DynamicAssembler(CubeShape shape, DynamicOptions options)
+      : shape_(std::move(shape)),
+        options_(options),
+        store_(shape_),
+        tracker_(options.access_decay) {}
+
+  Status MaybeReconfigure();
+
+  CubeShape shape_;
+  DynamicOptions options_;
+  ElementStore store_;
+  std::unique_ptr<AssemblyEngine> engine_;
+  AccessTracker tracker_;
+  /// Distribution the current basis was selected against.
+  std::vector<std::pair<ElementId, double>> baseline_distribution_;
+  uint64_t queries_served_ = 0;
+  uint64_t queries_at_last_reconfig_ = 0;
+  uint64_t reconfigurations_ = 0;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_SELECT_DYNAMIC_H_

@@ -1,0 +1,78 @@
+// The classical view lattice of Harinarayan, Rajaraman & Ullman
+// (SIGMOD'96) — the framework the paper positions view elements against.
+//
+// In the HRU model, views form a dependency lattice: view u can answer
+// view v iff u's grouping attributes are a superset of v's (here: u's
+// aggregated-dimension mask is a subset of v's), and answering v from u
+// costs Vol(u) — a linear scan of the materialized ancestor. The HRU
+// greedy repeatedly materializes the view of maximum *benefit* (total
+// scan-cost reduction over all views, optionally per unit of space).
+//
+// This module exists as an executed baseline: the same workloads can be
+// optimized under the HRU model and under the view element model, and
+// the benches compare the resulting storage/processing trade-offs. It
+// also documents the structural difference the paper stresses — lattice
+// dependencies are one-way, so the cube itself must always stay
+// materialized, while view element bases need not retain it.
+
+#ifndef VECUBE_SELECT_LATTICE_H_
+#define VECUBE_SELECT_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/shape.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// A node of the view lattice, identified by its aggregation mask.
+struct LatticeView {
+  uint32_t mask = 0;       ///< bit m set = dimension m aggregated away
+  uint64_t volume = 0;     ///< Vol of the view (its row count)
+};
+
+/// The full lattice for a cube shape: all 2^d views with volumes.
+std::vector<LatticeView> BuildLattice(const CubeShape& shape);
+
+/// True iff the view with `ancestor_mask` can answer the view with
+/// `descendant_mask` (ancestor aggregates a subset of the dimensions).
+constexpr bool LatticeAnswers(uint32_t ancestor_mask,
+                              uint32_t descendant_mask) {
+  return (ancestor_mask & descendant_mask) == ancestor_mask;
+}
+
+/// HRU linear cost model: the cost of answering view `query_mask` from a
+/// materialized set is the volume of the smallest materialized ancestor
+/// (the cube, mask 0, is always materialized).
+uint64_t LatticeAnswerCost(const CubeShape& shape, uint32_t query_mask,
+                           const std::vector<uint32_t>& materialized_masks);
+
+struct LatticeSelection {
+  /// Materialized views in selection order (mask 0 implicit, not listed).
+  std::vector<uint32_t> selected_masks;
+  /// Σ per-view answer costs (unweighted, as in HRU's formulation).
+  uint64_t total_cost = 0;
+  /// Storage of the selected views, excluding the always-present cube.
+  uint64_t extra_storage_cells = 0;
+};
+
+struct LatticeGreedyOptions {
+  /// Number of views to materialize (HRU's k), or 0 for "until no
+  /// positive benefit or budget exhausted".
+  uint32_t max_views = 0;
+  /// Storage ceiling for the extra views (cells); 0 = unlimited.
+  uint64_t storage_budget_cells = 0;
+  /// Rank candidates by benefit per unit space (the BPUS variant) rather
+  /// than raw benefit.
+  bool benefit_per_unit_space = false;
+};
+
+/// Runs the HRU greedy over the lattice for a uniform query load (every
+/// view queried once — the setting of the original paper's analysis).
+Result<LatticeSelection> HruGreedySelect(const CubeShape& shape,
+                                         const LatticeGreedyOptions& options);
+
+}  // namespace vecube
+
+#endif  // VECUBE_SELECT_LATTICE_H_

@@ -1,0 +1,47 @@
+#include "select/pair_cost.h"
+
+#include "core/freq_rect.h"
+
+namespace vecube {
+
+uint64_t PairCost(const ElementId& a, const ElementId& k,
+                  const CubeShape& shape) {
+  const uint64_t overlap = OverlapCells(a, k, shape);
+  if (overlap == 0) return 0;
+  const uint64_t vol_a = a.DataVolume(shape);
+  const uint64_t vol_k = k.DataVolume(shape);
+  return (vol_a - overlap) + (vol_k - overlap);
+}
+
+double SupportCost(const ElementId& v, const QueryPopulation& population,
+                   const CubeShape& shape) {
+  double cost = 0.0;
+  for (const QuerySpec& q : population.queries()) {
+    cost += q.frequency * static_cast<double>(PairCost(v, q.view, shape));
+  }
+  return cost;
+}
+
+double PopulationPairCost(const std::vector<ElementId>& set,
+                          const QueryPopulation& population,
+                          const CubeShape& shape) {
+  double cost = 0.0;
+  for (const ElementId& v : set) {
+    cost += SupportCost(v, population, shape);
+  }
+  return cost;
+}
+
+uint64_t UnweightedPairCost(const std::vector<ElementId>& set,
+                            const std::vector<ElementId>& queries,
+                            const CubeShape& shape) {
+  uint64_t cost = 0;
+  for (const ElementId& v : set) {
+    for (const ElementId& q : queries) {
+      cost += PairCost(v, q, shape);
+    }
+  }
+  return cost;
+}
+
+}  // namespace vecube

@@ -1,0 +1,52 @@
+// The pairwise processing-cost model of Eqs. 26-28.
+//
+// For a stored element Va supporting a query element Vk, both must be
+// aggregated down to their largest common descendant Vl, whose volume is
+// the frequency-rectangle intersection I(Va, Vk) (Eq. 25):
+//
+//   F(a, l) = Σ_{j=log2 I}^{log2 Vol(a) − 1} 2^j = Vol(a) − I     (Eq. 28)
+//   C(a, k) = F(a, l) + F(k, l)  if the rectangles intersect       (Eq. 27)
+//           = 0                  otherwise
+//
+// i.e. one addition/subtraction per output cell of the telescoping
+// cascade on each side. The per-element support cost against a population
+// is C_n = Σ_k f_k C(n, k) (Eq. 29), and the population cost of a
+// non-redundant basis is the sum of its members' support costs.
+
+#ifndef VECUBE_SELECT_PAIR_COST_H_
+#define VECUBE_SELECT_PAIR_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/shape.h"
+#include "workload/population.h"
+
+namespace vecube {
+
+/// C(a, k) of Eq. 27, in add/subtract operations.
+uint64_t PairCost(const ElementId& a, const ElementId& k,
+                  const CubeShape& shape);
+
+/// C_n(V) of Eq. 29: frequency-weighted support cost of element `v`.
+double SupportCost(const ElementId& v, const QueryPopulation& population,
+                   const CubeShape& shape);
+
+/// Σ_n C_n over the set — the population processing cost of a
+/// non-redundant basis under the pair model (the quantity plotted in
+/// Figure 8).
+double PopulationPairCost(const std::vector<ElementId>& set,
+                          const QueryPopulation& population,
+                          const CubeShape& shape);
+
+/// Same, but with unit query weights (Σ_k Σ_n C(n,k)): the raw operation
+/// total for answering each view once, which is how the paper's Table 2
+/// tabulates the pedagogical example.
+uint64_t UnweightedPairCost(const std::vector<ElementId>& set,
+                            const std::vector<ElementId>& queries,
+                            const CubeShape& shape);
+
+}  // namespace vecube
+
+#endif  // VECUBE_SELECT_PAIR_COST_H_

@@ -1,0 +1,32 @@
+// Bit-twiddling helpers for power-of-two cube geometry.
+
+#ifndef VECUBE_UTIL_BITS_H_
+#define VECUBE_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace vecube {
+
+/// True iff `x` is a power of two (1, 2, 4, ...). Zero is not.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr uint32_t FloorLog2(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x | 1));
+}
+
+/// Exact log2 of a power of two.
+constexpr uint32_t ExactLog2(uint64_t x) { return FloorLog2(x); }
+
+/// Largest power of two that divides `x` (x > 0); i.e. 2^countr_zero(x).
+constexpr uint64_t LargestDyadicFactor(uint64_t x) { return x & (~x + 1); }
+
+/// Smallest power of two >= x (x >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return IsPowerOfTwo(x) ? x : uint64_t{1} << (FloorLog2(x) + 1);
+}
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_BITS_H_

@@ -1,0 +1,33 @@
+// Minimal CHECK/DCHECK macros (Arrow DCHECK idiom). CHECK aborts on
+// violated invariants in all builds; DCHECK compiles out in NDEBUG.
+
+#ifndef VECUBE_UTIL_LOGGING_H_
+#define VECUBE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vecube::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace vecube::internal
+
+#define VECUBE_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond)) ::vecube::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define VECUBE_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define VECUBE_DCHECK(cond) VECUBE_CHECK(cond)
+#endif
+
+#endif  // VECUBE_UTIL_LOGGING_H_

@@ -1,0 +1,72 @@
+// Result<T>: a value or an error Status (Arrow's arrow::Result idiom).
+
+#ifndef VECUBE_UTIL_RESULT_H_
+#define VECUBE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace vecube {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an errored
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status.ok()` is invalid.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, or returns `fallback` if errored.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::move(*value_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK when value_ present
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define VECUBE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define VECUBE_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  VECUBE_ASSIGN_OR_RETURN_IMPL(VECUBE_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define VECUBE_CONCAT_INNER_(a, b) a##b
+#define VECUBE_CONCAT_(a, b) VECUBE_CONCAT_INNER_(a, b)
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_RESULT_H_

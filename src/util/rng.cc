@@ -1,0 +1,92 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace vecube {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  VECUBE_CHECK(bound > 0);
+  // Lemire-style rejection: accept when the value falls in the largest
+  // multiple of `bound` not exceeding 2^64.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+std::vector<double> Rng::Simplex(size_t k) {
+  VECUBE_CHECK(k > 0);
+  std::vector<double> w(k);
+  double total = 0.0;
+  for (auto& x : w) {
+    // Exp(1) variate; guard the log against an exact zero uniform.
+    double u = UniformDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    x = -std::log(u);
+    total += x;
+  }
+  for (auto& x : w) x /= total;
+  return w;
+}
+
+std::vector<double> Rng::ZipfWeights(size_t k, double s) {
+  VECUBE_CHECK(k > 0);
+  std::vector<double> w(k);
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
+  }
+  for (auto& x : w) x /= total;
+  // Fisher-Yates permutation so heavy ranks land on random items.
+  for (size_t i = k; i > 1; --i) {
+    const size_t j = static_cast<size_t>(UniformU64(i));
+    std::swap(w[i - 1], w[j]);
+  }
+  return w;
+}
+
+}  // namespace vecube

@@ -1,0 +1,50 @@
+// Deterministic, seedable random number generation for experiments.
+//
+// Experiments in the paper (Section 7.2) draw random view-access
+// frequencies; reproducibility of our tables requires a stable RNG that
+// does not depend on the standard library's unspecified distributions.
+
+#ifndef VECUBE_UTIL_RNG_H_
+#define VECUBE_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vecube {
+
+/// xoshiro256** generator seeded via SplitMix64. Deterministic across
+/// platforms and standard-library versions.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound) using rejection to avoid modulo bias.
+  /// `bound` must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// A point on the K-simplex: K non-negative weights summing to 1, drawn
+  /// by normalizing i.i.d. Exp(1) variates (uniform on the simplex).
+  std::vector<double> Simplex(size_t k);
+
+  /// Zipf-distributed weights over k items with exponent `s`, normalized
+  /// to sum to 1, randomly permuted so rank is not tied to item index.
+  std::vector<double> ZipfWeights(size_t k, double s);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_RNG_H_

@@ -1,0 +1,58 @@
+#include "workload/trace.h"
+
+namespace vecube {
+
+Result<QueryTrace> QueryTrace::Make(std::vector<TracePhase> phases) {
+  if (phases.empty()) {
+    return Status::InvalidArgument("trace needs at least one phase");
+  }
+  QueryTrace trace;
+  for (TracePhase& phase : phases) {
+    if (phase.num_queries == 0) {
+      return Status::InvalidArgument("phase '" + phase.name +
+                                     "' has zero queries");
+    }
+    if (phase.population.size() == 0) {
+      return Status::InvalidArgument("phase '" + phase.name +
+                                     "' has an empty population");
+    }
+    trace.total_ += phase.num_queries;
+  }
+  trace.phases_ = std::move(phases);
+  return trace;
+}
+
+std::vector<ElementId> QueryTrace::Generate(Rng* rng) const {
+  std::vector<ElementId> sequence;
+  sequence.reserve(total_);
+  for (const TracePhase& phase : phases_) {
+    for (uint64_t i = 0; i < phase.num_queries; ++i) {
+      sequence.push_back(phase.population.Sample(rng));
+    }
+  }
+  return sequence;
+}
+
+Result<std::vector<PhaseReport>> ReplayTrace(
+    const QueryTrace& trace, Rng* rng,
+    const std::function<Result<uint64_t>(const ElementId&)>& serve) {
+  std::vector<PhaseReport> reports;
+  for (const TracePhase& phase : trace.phases()) {
+    PhaseReport report;
+    report.name = phase.name;
+    for (uint64_t i = 0; i < phase.num_queries; ++i) {
+      const ElementId& view = phase.population.Sample(rng);
+      uint64_t ops;
+      VECUBE_ASSIGN_OR_RETURN(ops, serve(view));
+      report.total_ops += ops;
+      ++report.queries;
+    }
+    report.avg_ops_per_query =
+        static_cast<double>(report.total_ops) /
+        static_cast<double>(report.queries);
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace vecube

@@ -1,0 +1,117 @@
+#include "select/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/basis.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+CubeShape Shape44() {
+  auto s = CubeShape::MakeSquare(2, 4);
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(AdvisorTest, BasisDominatesComparators) {
+  const CubeShape shape = Shape44();
+  Rng rng(1);
+  auto pop = RandomViewPopulation(shape, &rng);
+  AdvisorOptions options;
+  auto report = AdviseConfiguration(shape, *pop, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->basis.processing_cost, report->cube_only_cost + 1e-9);
+  EXPECT_LE(report->basis.processing_cost, report->wavelet_cost + 1e-9);
+  EXPECT_DOUBLE_EQ(report->basis.relative_storage, 1.0);
+  EXPECT_TRUE(IsNonRedundantBasis(report->basis.selected, shape));
+}
+
+TEST(AdvisorTest, ViewHierarchyHasZeroCostForViewWorkloads) {
+  // All 2^d views materialized -> every view query is free.
+  const CubeShape shape = Shape44();
+  Rng rng(2);
+  auto pop = RandomViewPopulation(shape, &rng);
+  auto report = AdviseConfiguration(shape, *pop, AdvisorOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->view_hierarchy_cost, 0.0);
+  EXPECT_EQ(report->view_hierarchy_storage, 625u / 625u * 25u);  // (4+1)^2
+}
+
+TEST(AdvisorTest, BudgetPointsImproveMonotonically) {
+  const CubeShape shape = Shape44();
+  Rng rng(3);
+  auto pop = RandomViewPopulation(shape, &rng);
+  AdvisorOptions options;
+  const uint64_t vol = shape.volume();
+  options.budgets = {vol + 4, vol + 8, 2 * vol};
+  auto report = AdviseConfiguration(shape, *pop, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->budget_points.size(), 3u);
+  double previous = report->basis.processing_cost;
+  for (const AdvisorPoint& point : report->budget_points) {
+    EXPECT_LE(point.processing_cost, previous + 1e-9);
+    previous = point.processing_cost;
+  }
+}
+
+TEST(AdvisorTest, ZeroCostStorageDiscovered) {
+  const CubeShape shape = Shape44();
+  Rng rng(4);
+  auto pop = RandomViewPopulation(shape, &rng);
+  AdvisorOptions options;
+  options.budgets = {3 * shape.volume()};
+  auto report = AdviseConfiguration(shape, *pop, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->zero_cost_storage, 0u);
+  EXPECT_DOUBLE_EQ(report->budget_points.back().processing_cost, 0.0);
+}
+
+TEST(AdvisorTest, BudgetsBelowBasisIgnored) {
+  const CubeShape shape = Shape44();
+  Rng rng(5);
+  auto pop = RandomViewPopulation(shape, &rng);
+  AdvisorOptions options;
+  options.budgets = {1, shape.volume() / 2, shape.volume()};
+  auto report = AdviseConfiguration(shape, *pop, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->budget_points.empty());
+}
+
+TEST(AdvisorTest, ReportPrints) {
+  const CubeShape shape = Shape44();
+  Rng rng(6);
+  auto pop = RandomViewPopulation(shape, &rng);
+  AdvisorOptions options;
+  options.budgets = {shape.volume() + 16};
+  auto report = AdviseConfiguration(shape, *pop, options);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("optimal non-expansive basis"), std::string::npos);
+  EXPECT_NE(text.find("cube only"), std::string::npos);
+}
+
+TEST(AdvisorTest, ViewPoolOptionRespected) {
+  const CubeShape shape = Shape44();
+  Rng rng(7);
+  auto pop = RandomViewPopulation(shape, &rng);
+  AdvisorOptions options;
+  options.budgets = {2 * shape.volume()};
+  options.elements_pool = false;
+  auto report = AdviseConfiguration(shape, *pop, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->budget_points.size(), 1u);
+  // Everything added beyond the basis is an aggregated view.
+  for (const ElementId& id : report->budget_points[0].selected) {
+    const bool in_basis =
+        std::find(report->basis.selected.begin(),
+                  report->basis.selected.end(), id) !=
+        report->basis.selected.end();
+    if (!in_basis) {
+      EXPECT_TRUE(id.IsAggregatedView(shape)) << id.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vecube

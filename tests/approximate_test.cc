@@ -1,0 +1,115 @@
+#include "core/approximate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+struct Fixture {
+  CubeShape shape;
+  Tensor cube;
+  ElementStore store;  // wavelet basis
+};
+
+Fixture MakeFixture(uint64_t seed) {
+  auto shape = CubeShape::Make({16, 16});
+  EXPECT_TRUE(shape.ok());
+  Rng rng(seed);
+  auto cube = ClusteredCube(*shape, &rng, 3, 2.0, 50.0);
+  EXPECT_TRUE(cube.ok());
+  ElementComputer computer(*shape, &*cube);
+  auto store = computer.Materialize(WaveletBasisSet(*shape));
+  EXPECT_TRUE(store.ok());
+  return Fixture{*shape, std::move(cube).value(), std::move(store).value()};
+}
+
+TEST(ApproximateTest, ZeroThresholdIsLossless) {
+  Fixture f = MakeFixture(1);
+  ThresholdSummary summary;
+  auto approx = ThresholdResiduals(f.store, 0.0, &summary);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(summary.zeroed, 0u);
+  AssemblyEngine engine(&*approx);
+  auto back = engine.Assemble(ElementId::Root(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(f.cube, 0.0));
+}
+
+TEST(ApproximateTest, ThresholdingReducesNonzeros) {
+  Fixture f = MakeFixture(2);
+  ThresholdSummary tight, loose;
+  ASSERT_TRUE(ThresholdResiduals(f.store, 1.0, &tight).ok());
+  ASSERT_TRUE(ThresholdResiduals(f.store, 20.0, &loose).ok());
+  EXPECT_GE(loose.zeroed, tight.zeroed);
+  EXPECT_LE(loose.retained_nonzero, tight.retained_nonzero);
+  EXPECT_EQ(tight.total_cells, f.store.StorageCells());
+}
+
+TEST(ApproximateTest, GrandTotalStaysExact) {
+  // The total aggregation is an intermediate element in the wavelet
+  // basis; thresholding residuals cannot perturb it.
+  Fixture f = MakeFixture(3);
+  auto approx = ThresholdResiduals(f.store, 15.0);
+  ASSERT_TRUE(approx.ok());
+  AssemblyEngine engine(&*approx);
+  auto total = engine.AssembleView(0b11);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ((*total)[0], f.cube.Total());
+}
+
+TEST(ApproximateTest, ErrorGrowsMonotonicallyWithThreshold) {
+  Fixture f = MakeFixture(4);
+  double previous_rms = 0.0;
+  for (double threshold : {0.0, 2.0, 8.0, 32.0}) {
+    auto approx = ThresholdResiduals(f.store, threshold);
+    ASSERT_TRUE(approx.ok());
+    AssemblyEngine engine(&*approx);
+    auto back = engine.Assemble(ElementId::Root(2));
+    ASSERT_TRUE(back.ok());
+    auto error = CompareTensors(f.cube, *back);
+    ASSERT_TRUE(error.ok());
+    EXPECT_GE(error->rms + 1e-12, previous_rms) << threshold;
+    previous_rms = error->rms;
+  }
+}
+
+TEST(ApproximateTest, ModerateThresholdSmallRelativeError) {
+  Fixture f = MakeFixture(5);
+  ThresholdSummary summary;
+  auto approx = ThresholdResiduals(f.store, 4.0, &summary);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_GT(summary.zeroed, 0u);
+  AssemblyEngine engine(&*approx);
+  auto back = engine.Assemble(ElementId::Root(2));
+  ASSERT_TRUE(back.ok());
+  auto error = CompareTensors(f.cube, *back);
+  ASSERT_TRUE(error.ok());
+  // Clustered data: small detail coefficients carry little mass.
+  EXPECT_LT(error->relative_l1, 0.25);
+}
+
+TEST(ApproximateTest, CompareTensorsMetrics) {
+  auto a = Tensor::FromData({4}, {1, 2, 3, 4});
+  auto b = Tensor::FromData({4}, {1, 2, 3, 8});
+  auto error = CompareTensors(*a, *b);
+  ASSERT_TRUE(error.ok());
+  EXPECT_DOUBLE_EQ(error->max_abs, 4.0);
+  EXPECT_DOUBLE_EQ(error->rms, 2.0);
+  EXPECT_DOUBLE_EQ(error->relative_l1, 0.4);
+  auto c = Tensor::FromData({2}, {0, 0});
+  EXPECT_FALSE(CompareTensors(*a, *c).ok());
+}
+
+TEST(ApproximateTest, NegativeThresholdRejected) {
+  Fixture f = MakeFixture(6);
+  EXPECT_FALSE(ThresholdResiduals(f.store, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace vecube

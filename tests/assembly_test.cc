@@ -1,0 +1,192 @@
+#include "core/assembly.h"
+
+#include <gtest/gtest.h>
+
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/graph.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+struct Fixture {
+  CubeShape shape;
+  Tensor cube;
+};
+
+Fixture MakeFixture(std::vector<uint32_t> extents, uint64_t seed) {
+  auto shape = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(shape.ok());
+  Rng rng(seed);
+  auto cube = UniformIntegerCube(*shape, &rng, -9, 9);
+  EXPECT_TRUE(cube.ok());
+  return Fixture{*shape, std::move(cube).value()};
+}
+
+ElementStore MaterializeSet(Fixture* f, const std::vector<ElementId>& set) {
+  ElementComputer computer(f->shape, &f->cube);
+  auto store = computer.Materialize(set);
+  EXPECT_TRUE(store.ok());
+  return std::move(store).value();
+}
+
+TEST(AssemblyTest, StoredElementIsFree) {
+  Fixture f = MakeFixture({4, 4}, 1);
+  ElementStore store = MaterializeSet(&f, CubeOnlySet(f.shape));
+  AssemblyEngine engine(&store);
+  EXPECT_EQ(engine.PlanCost(ElementId::Root(2)), 0u);
+  OpCounter ops;
+  auto out = engine.Assemble(ElementId::Root(2), &ops);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(ops.adds, 0u);
+  EXPECT_TRUE(out->ApproxEquals(f.cube, 0.0));
+}
+
+TEST(AssemblyTest, AggregateFromRoot) {
+  Fixture f = MakeFixture({8, 4}, 2);
+  ElementStore store = MaterializeSet(&f, CubeOnlySet(f.shape));
+  AssemblyEngine engine(&store);
+  auto view = ElementId::AggregatedView(0b01, f.shape);
+  // Direct computation for reference.
+  ElementComputer computer(f.shape, &f.cube);
+  auto expected = computer.Compute(*view);
+
+  OpCounter ops;
+  auto out = engine.Assemble(*view, &ops);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ApproxEquals(*expected, 0.0));
+  // Aggregation cascade costs Vol(root) - Vol(view).
+  EXPECT_EQ(ops.adds, 32u - 4u);
+  EXPECT_EQ(engine.PlanCost(*view), 28u);
+}
+
+TEST(AssemblyTest, MeasuredOpsEqualPlanCost) {
+  Fixture f = MakeFixture({4, 4}, 3);
+  // A non-trivial basis: split dim 0, split the residual along dim 1.
+  const ElementId root = ElementId::Root(2);
+  auto p = root.Child(0, StepKind::kPartial, f.shape);
+  auto r = root.Child(0, StepKind::kResidual, f.shape);
+  auto rp = r->Child(1, StepKind::kPartial, f.shape);
+  auto rr = r->Child(1, StepKind::kResidual, f.shape);
+  ElementStore store = MaterializeSet(&f, {*p, *rp, *rr});
+  AssemblyEngine engine(&store);
+
+  ViewElementGraph graph(f.shape);
+  std::vector<ElementId> all;
+  graph.ForEachElement([&](const ElementId& id) { all.push_back(id); });
+  for (const ElementId& target : all) {
+    const uint64_t plan = engine.PlanCost(target);
+    ASSERT_NE(plan, kInfiniteCost) << target.ToString();
+    OpCounter ops;
+    auto out = engine.Assemble(target, &ops);
+    ASSERT_TRUE(out.ok()) << target.ToString();
+    EXPECT_EQ(ops.adds, plan) << target.ToString();
+  }
+}
+
+TEST(AssemblyTest, EveryElementAssemblesFromWaveletBasis) {
+  Fixture f = MakeFixture({4, 4}, 4);
+  ElementStore store = MaterializeSet(&f, WaveletBasisSet(f.shape));
+  AssemblyEngine engine(&store);
+  ElementComputer computer(f.shape, &f.cube);
+
+  ViewElementGraph graph(f.shape);
+  graph.ForEachElement([&](const ElementId& id) {
+    auto expected = computer.Compute(id);
+    auto out = engine.Assemble(id);
+    ASSERT_TRUE(out.ok()) << id.ToString();
+    EXPECT_TRUE(out->ApproxEquals(*expected, 1e-9)) << id.ToString();
+  });
+}
+
+TEST(AssemblyTest, SynthesisReconstructsRootFromSiblings) {
+  Fixture f = MakeFixture({8, 2}, 5);
+  const ElementId root = ElementId::Root(2);
+  auto p = root.Child(0, StepKind::kPartial, f.shape);
+  auto r = root.Child(0, StepKind::kResidual, f.shape);
+  ElementStore store = MaterializeSet(&f, {*p, *r});
+  AssemblyEngine engine(&store);
+  OpCounter ops;
+  auto out = engine.Assemble(root, &ops);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ApproxEquals(f.cube, 0.0));
+  // One synthesis stage: Vol(root) ops.
+  EXPECT_EQ(ops.adds, 16u);
+}
+
+TEST(AssemblyTest, IncompleteStoreReportsIncomplete) {
+  Fixture f = MakeFixture({4, 4}, 6);
+  const ElementId root = ElementId::Root(2);
+  auto p = root.Child(0, StepKind::kPartial, f.shape);
+  ElementStore store = MaterializeSet(&f, {*p});  // missing the residual half
+  AssemblyEngine engine(&store);
+  EXPECT_EQ(engine.PlanCost(root), kInfiniteCost);
+  auto out = engine.Assemble(root);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsIncomplete());
+  // Targets inside the stored element still work.
+  auto pp = p->Child(0, StepKind::kPartial, f.shape);
+  EXPECT_TRUE(engine.Assemble(*pp).ok());
+}
+
+TEST(AssemblyTest, PrefersCheaperOfAggregationAndSynthesis) {
+  Fixture f = MakeFixture({8}, 7);
+  const ElementId root = ElementId::Root(1);
+  auto p = root.Child(0, StepKind::kPartial, f.shape);
+  auto r = root.Child(0, StepKind::kResidual, f.shape);
+  // Store the root AND both children redundantly: querying P must cost 0
+  // (stored), querying root must cost 0 (stored), not synthesized.
+  ElementStore store = MaterializeSet(&f, {root, *p, *r});
+  AssemblyEngine engine(&store);
+  EXPECT_EQ(engine.PlanCost(root), 0u);
+  EXPECT_EQ(engine.PlanCost(*p), 0u);
+  // PP: aggregate from stored P (cost 2) beats root cascade (cost 6).
+  auto pp = p->Child(0, StepKind::kPartial, f.shape);
+  EXPECT_EQ(engine.PlanCost(*pp), 2u);
+}
+
+TEST(AssemblyTest, AssembleViewByMask) {
+  Fixture f = MakeFixture({4, 4}, 8);
+  ElementStore store = MaterializeSet(&f, CubeOnlySet(f.shape));
+  AssemblyEngine engine(&store);
+  auto total = engine.AssembleView(0b11);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ((*total)[0], f.cube.Total());
+}
+
+TEST(AssemblyTest, InvalidateAfterStoreMutation) {
+  Fixture f = MakeFixture({4, 4}, 9);
+  ElementStore store = MaterializeSet(&f, CubeOnlySet(f.shape));
+  AssemblyEngine engine(&store);
+  auto view = ElementId::AggregatedView(0b01, f.shape);
+  const uint64_t before = engine.PlanCost(*view);
+  EXPECT_GT(before, 0u);
+  // Materialize the view itself into the store.
+  ElementComputer computer(f.shape, &f.cube);
+  ASSERT_TRUE(store.Put(*view, *computer.Compute(*view)).ok());
+  engine.Invalidate();
+  EXPECT_EQ(engine.PlanCost(*view), 0u);
+}
+
+TEST(AssemblyTest, ArityMismatchRejected) {
+  Fixture f = MakeFixture({4, 4}, 10);
+  ElementStore store = MaterializeSet(&f, CubeOnlySet(f.shape));
+  AssemblyEngine engine(&store);
+  EXPECT_TRUE(
+      engine.Assemble(ElementId::Root(3)).status().IsInvalidArgument());
+}
+
+TEST(AssemblyTest, ExactValuesThroughDeepSynthesis) {
+  // Integer data must reconstruct exactly through multi-stage synthesis.
+  Fixture f = MakeFixture({8, 8}, 11);
+  ElementStore store = MaterializeSet(&f, WaveletBasisSet(f.shape));
+  AssemblyEngine engine(&store);
+  auto out = engine.Assemble(ElementId::Root(2));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ApproxEquals(f.cube, 0.0));
+}
+
+}  // namespace
+}  // namespace vecube

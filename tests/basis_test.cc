@@ -1,0 +1,154 @@
+#include "core/basis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+
+namespace vecube {
+namespace {
+
+CubeShape Shape(std::vector<uint32_t> extents) {
+  auto s = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(BasisTest, CubeOnlyIsNonRedundantBasis) {
+  const CubeShape shape = Shape({4, 4});
+  const auto set = CubeOnlySet(shape);
+  EXPECT_TRUE(IsNonRedundant(set, shape));
+  EXPECT_TRUE(IsComplete(set, shape));
+  EXPECT_TRUE(IsNonRedundantBasis(set, shape));
+  EXPECT_EQ(StorageVolume(set, shape), shape.volume());
+}
+
+TEST(BasisTest, SiblingPairIsBasis) {
+  const CubeShape shape = Shape({4, 4});
+  auto p = ElementId::Root(2).Child(0, StepKind::kPartial, shape);
+  auto r = ElementId::Root(2).Child(0, StepKind::kResidual, shape);
+  const std::vector<ElementId> set{*p, *r};
+  EXPECT_TRUE(IsNonRedundantBasis(set, shape));
+  EXPECT_EQ(StorageVolume(set, shape), shape.volume());  // non-expansive
+}
+
+TEST(BasisTest, SinglePartialChildIsIncomplete) {
+  const CubeShape shape = Shape({4, 4});
+  auto p = ElementId::Root(2).Child(0, StepKind::kPartial, shape);
+  const std::vector<ElementId> set{*p};
+  EXPECT_TRUE(IsNonRedundant(set, shape));
+  EXPECT_FALSE(IsComplete(set, shape));
+}
+
+TEST(BasisTest, OverlappingViewsAreRedundant) {
+  // (P, I) and (I, P): the paper's {V1, V7} — redundant, incomplete.
+  const CubeShape shape = Shape({2, 2});
+  auto v1 = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto v7 = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  const std::vector<ElementId> set{*v1, *v7};
+  EXPECT_FALSE(IsNonRedundant(set, shape));
+  EXPECT_FALSE(IsComplete(set, shape));
+}
+
+TEST(BasisTest, RootPlusAnythingIsRedundantBasis) {
+  const CubeShape shape = Shape({4, 4});
+  auto v1 = ElementId::Make({{2, 0}, {0, 0}}, shape);
+  const std::vector<ElementId> set{ElementId::Root(2), *v1};
+  EXPECT_FALSE(IsNonRedundant(set, shape));
+  EXPECT_TRUE(IsComplete(set, shape));
+  EXPECT_FALSE(IsNonRedundantBasis(set, shape));
+}
+
+TEST(BasisTest, CompletenessForSubElement) {
+  const CubeShape shape = Shape({4});
+  auto p = ElementId::Root(1).Child(0, StepKind::kPartial, shape);
+  auto pp = p->Child(0, StepKind::kPartial, shape);
+  auto pr = p->Child(0, StepKind::kResidual, shape);
+  // {PP, PR} is complete w.r.t. P but not w.r.t. the root.
+  const std::vector<ElementId> set{*pp, *pr};
+  EXPECT_TRUE(IsCompleteFor(set, *p, shape));
+  EXPECT_FALSE(IsCompleteFor(set, ElementId::Root(1), shape));
+}
+
+TEST(BasisTest, Procedure1AgreesWithCoverage2D) {
+  // For d <= 2 every complete non-redundant cover is guillotine, so the
+  // paper's Procedure 1 agrees with the coverage criterion.
+  const CubeShape shape = Shape({2, 2});
+  ViewElementGraph graph(shape);
+  std::vector<ElementId> all;
+  graph.ForEachElement([&](const ElementId& id) { all.push_back(id); });
+  ASSERT_EQ(all.size(), 9u);
+  const ElementId root = ElementId::Root(2);
+  // All subsets of the 9 elements.
+  for (uint32_t mask = 0; mask < (1u << 9); ++mask) {
+    std::vector<ElementId> set;
+    for (uint32_t i = 0; i < 9; ++i) {
+      if ((mask >> i) & 1u) set.push_back(all[i]);
+    }
+    if (set.empty()) continue;
+    if (!IsNonRedundant(set, shape)) continue;
+    EXPECT_EQ(IsComplete(set, shape), IsCompleteProcedure1(set, root, shape))
+        << "mask " << mask;
+  }
+}
+
+TEST(BasisTest, WaveletBasisIsNonRedundantBasis) {
+  for (const auto& extents :
+       {std::vector<uint32_t>{8}, std::vector<uint32_t>{4, 4},
+        std::vector<uint32_t>{8, 2}, std::vector<uint32_t>{4, 4, 4}}) {
+    const CubeShape shape = Shape(extents);
+    const auto basis = WaveletBasisSet(shape);
+    EXPECT_TRUE(IsNonRedundantBasis(basis, shape)) << shape.ToString();
+    // Non-expansive: volume n^d (Section 4.3).
+    EXPECT_EQ(StorageVolume(basis, shape), shape.volume()) << shape.ToString();
+  }
+}
+
+TEST(BasisTest, WaveletBasisSize) {
+  // Square cube: 1 + levels * (2^d - 1) members.
+  const CubeShape shape = Shape({16, 16});
+  EXPECT_EQ(WaveletBasisSet(shape).size(), 1u + 4u * 3u);
+}
+
+TEST(BasisTest, GaussianPyramidIsRedundantComplete) {
+  const CubeShape shape = Shape({4, 4});
+  const auto pyramid = GaussianPyramidSet(shape);
+  EXPECT_EQ(pyramid.size(), 3u);  // levels 0, 1, 2
+  EXPECT_TRUE(IsComplete(pyramid, shape));      // contains the root
+  EXPECT_FALSE(IsNonRedundant(pyramid, shape));  // nested low-pass chain
+  EXPECT_EQ(StorageVolume(pyramid, shape), 16u + 4u + 1u);
+}
+
+TEST(BasisTest, GaussianPyramidMembersAreIntermediate) {
+  const CubeShape shape = Shape({8, 4});
+  for (const ElementId& id : GaussianPyramidSet(shape)) {
+    EXPECT_TRUE(id.IsIntermediate());
+  }
+}
+
+TEST(BasisTest, ViewHierarchyVolumeIsNPlusOneToTheD) {
+  // Section 4.3: Vol = (n+1)^d for square cubes.
+  const CubeShape shape = Shape({4, 4, 4});
+  const auto hierarchy = ViewHierarchySet(shape);
+  EXPECT_EQ(hierarchy.size(), 8u);
+  EXPECT_EQ(StorageVolume(hierarchy, shape), 125u);
+  EXPECT_TRUE(IsComplete(hierarchy, shape));
+  EXPECT_FALSE(IsNonRedundant(hierarchy, shape));
+}
+
+TEST(BasisTest, NonSquareWaveletBasis) {
+  // Short dimensions exhaust first; the decomposition continues jointly on
+  // the remaining ones.
+  const CubeShape shape = Shape({8, 2});
+  const auto basis = WaveletBasisSet(shape);
+  EXPECT_TRUE(IsNonRedundantBasis(basis, shape));
+  EXPECT_EQ(StorageVolume(basis, shape), 16u);
+}
+
+TEST(BasisTest, EmptySetIsNotComplete) {
+  const CubeShape shape = Shape({4});
+  EXPECT_FALSE(IsComplete({}, shape));
+  EXPECT_TRUE(IsNonRedundant({}, shape));  // vacuously
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/graph.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+struct Fixture {
+  CubeShape shape;
+  Tensor cube;
+  ElementStore store;
+};
+
+Fixture MakeFixture(const std::vector<ElementId>& set, uint64_t seed) {
+  auto shape = CubeShape::Make({8, 8});
+  EXPECT_TRUE(shape.ok());
+  Rng rng(seed);
+  auto cube = UniformIntegerCube(*shape, &rng, -9, 9);
+  EXPECT_TRUE(cube.ok());
+  ElementComputer computer(*shape, &*cube);
+  auto store = computer.Materialize(set);
+  EXPECT_TRUE(store.ok());
+  return Fixture{*shape, std::move(cube).value(), std::move(store).value()};
+}
+
+TEST(BatchAssemblyTest, MatchesIndividualAssemblies) {
+  auto shape = CubeShape::Make({8, 8});
+  Fixture f = MakeFixture(WaveletBasisSet(*shape), 1);
+  AssemblyEngine engine(&f.store);
+  const auto views = ViewElementGraph(f.shape).AggregatedViews();
+  auto batch = engine.AssembleBatch(views);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), views.size());
+  for (size_t i = 0; i < views.size(); ++i) {
+    auto single = engine.Assemble(views[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_TRUE((*batch)[i].ApproxEquals(*single, 0.0)) << i;
+  }
+}
+
+TEST(BatchAssemblyTest, SharingNeverCostsMore) {
+  auto shape = CubeShape::Make({8, 8});
+  Fixture f = MakeFixture(WaveletBasisSet(*shape), 2);
+  AssemblyEngine engine(&f.store);
+  const auto views = ViewElementGraph(f.shape).AggregatedViews();
+
+  OpCounter individual;
+  for (const ElementId& view : views) {
+    ASSERT_TRUE(engine.Assemble(view, &individual).ok());
+  }
+  OpCounter batched;
+  ASSERT_TRUE(engine.AssembleBatch(views, &batched).ok());
+  EXPECT_LE(batched.adds, individual.adds);
+}
+
+TEST(BatchAssemblyTest, SharingSavesWorkOnOverlappingTargets) {
+  // From the wavelet basis, views along each dimension all pass through
+  // the same coarse intermediates; batching must reuse them. Use the
+  // root as both a target and an implied sub-result.
+  auto shape = CubeShape::Make({8, 8});
+  Fixture f = MakeFixture(WaveletBasisSet(*shape), 3);
+  AssemblyEngine engine(&f.store);
+  const ElementId root = ElementId::Root(2);
+  auto v1 = ElementId::AggregatedView(0b01, f.shape);
+  auto v2 = ElementId::AggregatedView(0b10, f.shape);
+
+  OpCounter individual;
+  ASSERT_TRUE(engine.Assemble(root, &individual).ok());
+  ASSERT_TRUE(engine.Assemble(*v1, &individual).ok());
+  ASSERT_TRUE(engine.Assemble(*v2, &individual).ok());
+
+  OpCounter batched;
+  ASSERT_TRUE(engine.AssembleBatch({root, *v1, *v2}, &batched).ok());
+  EXPECT_LT(batched.adds, individual.adds);
+}
+
+TEST(BatchAssemblyTest, DuplicateTargetsAreFreeSecondTime) {
+  auto shape = CubeShape::Make({8, 8});
+  const ElementId root = ElementId::Root(2);
+  auto p = root.Child(0, StepKind::kPartial, *shape);
+  auto r = root.Child(0, StepKind::kResidual, *shape);
+  Fixture f = MakeFixture({*p, *r}, 4);
+  AssemblyEngine engine(&f.store);
+  OpCounter once, twice;
+  ASSERT_TRUE(engine.AssembleBatch({root}, &once).ok());
+  ASSERT_TRUE(engine.AssembleBatch({root, root}, &twice).ok());
+  EXPECT_EQ(once.adds, twice.adds);
+}
+
+TEST(BatchAssemblyTest, ErrorsPropagate) {
+  auto shape = CubeShape::Make({8, 8});
+  auto p = ElementId::Root(2).Child(0, StepKind::kPartial, *shape);
+  Fixture f = MakeFixture({*p}, 5);  // incomplete store
+  AssemblyEngine engine(&f.store);
+  auto batch = engine.AssembleBatch({*p, ElementId::Root(2)});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsIncomplete());
+  EXPECT_FALSE(engine.AssembleBatch({ElementId::Root(3)}).ok());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,89 @@
+#include "select/best_basis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+CubeShape Shape(std::vector<uint32_t> extents) {
+  auto s = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(BestBasisTest, ResultIsNonRedundantBasis) {
+  const CubeShape shape = Shape({8, 8});
+  Rng rng(1);
+  auto cube = SparseRandomCube(shape, &rng, 0.1);
+  auto result = SelectCompressionBasis(shape, *cube, 0.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(IsNonRedundantBasis(result->basis, shape));
+}
+
+TEST(BestBasisTest, ConstantCubeCompressesToOneCoefficient) {
+  // A constant cube has all its energy in the fully-aggregated element:
+  // every residual is exactly zero.
+  const CubeShape shape = Shape({8, 8});
+  auto cube = Tensor::FromData(std::vector<uint32_t>{8, 8},
+                               std::vector<double>(64, 5.0));
+  auto result = SelectCompressionBasis(shape, *cube, 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->significant_coefficients, 1u);
+  EXPECT_EQ(result->cube_nonzeros, 64u);
+}
+
+TEST(BestBasisTest, NeverWorseThanKeepingTheCube) {
+  const CubeShape shape = Shape({16, 8});
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    auto cube = SparseRandomCube(shape, &rng, 0.2);
+    auto result = SelectCompressionBasis(shape, *cube, 0.0);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->significant_coefficients, result->cube_nonzeros);
+  }
+}
+
+TEST(BestBasisTest, HigherThresholdNeverIncreasesCount) {
+  const CubeShape shape = Shape({8, 8});
+  Rng rng(7);
+  auto cube = UniformIntegerCube(shape, &rng, 0, 9);
+  auto tight = SelectCompressionBasis(shape, *cube, 0.0);
+  auto loose = SelectCompressionBasis(shape, *cube, 10.0);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_LE(loose->significant_coefficients, tight->significant_coefficients);
+}
+
+TEST(BestBasisTest, SelectedBasisReconstructsTheCube) {
+  // The chosen basis is complete, so assembling the root from its
+  // materialized elements must reproduce the cube exactly.
+  const CubeShape shape = Shape({8, 8});
+  Rng rng(9);
+  auto cube = SparseRandomCube(shape, &rng, 0.15);
+  auto result = SelectCompressionBasis(shape, *cube, 0.5);
+  ASSERT_TRUE(result.ok());
+
+  ElementComputer computer(shape, &*cube);
+  auto store = computer.Materialize(result->basis);
+  ASSERT_TRUE(store.ok());
+  AssemblyEngine engine(&*store);
+  auto back = engine.Assemble(ElementId::Root(2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(*cube, 0.0));
+}
+
+TEST(BestBasisTest, ValidatesArguments) {
+  const CubeShape shape = Shape({8});
+  auto wrong = Tensor::Zeros({4});
+  EXPECT_FALSE(SelectCompressionBasis(shape, *wrong, 0.0).ok());
+  auto cube = Tensor::Zeros({8});
+  EXPECT_FALSE(SelectCompressionBasis(shape, *cube, -1.0).ok());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,52 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(4), 2u);
+  EXPECT_EQ(FloorLog2(255), 7u);
+  EXPECT_EQ(FloorLog2(256), 8u);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 40), 40u);
+}
+
+TEST(BitsTest, ExactLog2OfPowers) {
+  for (uint32_t k = 0; k < 63; ++k) {
+    EXPECT_EQ(ExactLog2(uint64_t{1} << k), k);
+  }
+}
+
+TEST(BitsTest, LargestDyadicFactor) {
+  EXPECT_EQ(LargestDyadicFactor(1), 1u);
+  EXPECT_EQ(LargestDyadicFactor(2), 2u);
+  EXPECT_EQ(LargestDyadicFactor(6), 2u);
+  EXPECT_EQ(LargestDyadicFactor(8), 8u);
+  EXPECT_EQ(LargestDyadicFactor(12), 4u);
+  EXPECT_EQ(LargestDyadicFactor(96), 32u);
+}
+
+TEST(BitsTest, ConstexprUsable) {
+  static_assert(IsPowerOfTwo(16));
+  static_assert(FloorLog2(16) == 4);
+  static_assert(LargestDyadicFactor(24) == 8);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vecube

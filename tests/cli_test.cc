@@ -1,0 +1,130 @@
+// End-to-end exercise of the vecube_cli tool: build a cube from CSV,
+// optimize it for a workload, query views and ranges, inspect the store.
+// The CLI binary path is injected by CMake as VECUBE_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace vecube {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Runs the CLI and captures stdout. Returns the exit code.
+int RunCli(const std::string& args, std::string* output) {
+  const std::string command =
+      std::string(VECUBE_CLI_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  output->clear();
+  std::array<char, 512> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    *output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class CliPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Parallel ctest runs each test in its own process; prefix files with
+    // the test name so concurrent cases never collide.
+    const std::string prefix =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    csv_ = TempPath((prefix + "_facts.csv").c_str());
+    store_ = TempPath((prefix + "_store.vecube").c_str());
+    tuned_ = TempPath((prefix + "_tuned.vecube").c_str());
+    std::ofstream out(csv_, std::ios::trunc);
+    out << "product,region,amount\n";
+    out << "0,0,10\n0,1,5\n1,0,20\n1,3,2\n3,2,8\n2,2,4\n0,0,6\n";
+  }
+
+  void TearDown() override {
+    std::remove(csv_.c_str());
+    std::remove(store_.c_str());
+    std::remove(tuned_.c_str());
+  }
+
+  std::string csv_, store_, tuned_;
+};
+
+TEST_F(CliPipeline, BuildOptimizeQueryRangeInfo) {
+  std::string output;
+  // Build.
+  ASSERT_EQ(RunCli("build --csv " + csv_ + " --extents 4,4 --out " + store_,
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("built [4, 4] cube from 7 rows"), std::string::npos)
+      << output;
+
+  // Query the grand total straight from the cube store (mask 3 = both
+  // dims aggregated): 10+5+20+2+8+4+6 = 55.
+  ASSERT_EQ(RunCli("query --store " + store_ + " --mask 3", &output), 0)
+      << output;
+  EXPECT_NE(output.find("55"), std::string::npos) << output;
+
+  // Optimize for a workload concentrated on per-product totals.
+  ASSERT_EQ(RunCli("optimize --store " + store_ + " --out " + tuned_ +
+                       " --workload 2:0.8,3:0.2",
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("selected"), std::string::npos) << output;
+
+  // The tuned store answers the same query identically.
+  ASSERT_EQ(RunCli("query --store " + tuned_ + " --mask 3", &output), 0)
+      << output;
+  EXPECT_NE(output.find("55"), std::string::npos) << output;
+  // And the hot view (mask 2) is free: ops=0.
+  ASSERT_EQ(RunCli("query --store " + tuned_ + " --mask 2", &output), 0)
+      << output;
+  EXPECT_NE(output.find("ops=0"), std::string::npos) << output;
+
+  // Range over products 0..1, regions 0..3: 10+5+20+2+6 = 43.
+  ASSERT_EQ(RunCli("range --store " + store_ +
+                       " --start 0,0 --width 2,4",
+                   &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("sum=43"), std::string::npos) << output;
+
+  // Info lists the store contents.
+  ASSERT_EQ(RunCli("info --store " + tuned_, &output), 0) << output;
+  EXPECT_NE(output.find("complete basis: yes"), std::string::npos) << output;
+}
+
+TEST_F(CliPipeline, BadInvocationsFail) {
+  std::string output;
+  EXPECT_NE(RunCli("", &output), 0);
+  EXPECT_NE(RunCli("frobnicate", &output), 0);
+  EXPECT_NE(RunCli("build --csv /nonexistent.csv --extents 4 --out " + store_,
+                   &output),
+            0);
+  EXPECT_NE(RunCli("query --store /nonexistent.vecube --mask 0", &output), 0);
+  EXPECT_NE(RunCli("build --csv " + csv_ + " --extents bogus --out " + store_,
+                   &output),
+            0);
+}
+
+TEST_F(CliPipeline, PaddedBuild) {
+  // Extents 3,4 pad to 4,4; out-of-domain keys would fail, in-domain work.
+  std::string output;
+  ASSERT_EQ(RunCli("build --csv " + csv_ +
+                       " --extents 4,4 --pad --out " + store_,
+                   &output),
+            0)
+      << output;
+  ASSERT_EQ(RunCli("info --store " + store_, &output), 0) << output;
+  EXPECT_NE(output.find("shape [4, 4]"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace vecube

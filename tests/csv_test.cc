@@ -1,0 +1,129 @@
+#include "cube/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cube/cube_builder.h"
+
+namespace vecube {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  const std::string path = TempPath("basic.csv");
+  WriteFile(path,
+            "product,store,amount\n"
+            "1,2,9.5\n"
+            "0,3,-1\n");
+  auto relation = LoadRelationCsv(path, 2, 1);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 2u);
+  EXPECT_EQ(relation->functional_name(0), "product");
+  EXPECT_EQ(relation->measure_name(0), "amount");
+  EXPECT_EQ(relation->key(1, 0), 2);
+  EXPECT_DOUBLE_EQ(relation->measure(0, 1), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NoHeaderGetsDefaultNames) {
+  const std::string path = TempPath("noheader.csv");
+  WriteFile(path, "5,1.25\n7,2.5\n");
+  CsvOptions options;
+  options.has_header = false;
+  auto relation = LoadRelationCsv(path, 1, 1, options);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 2u);
+  EXPECT_EQ(relation->functional_name(0), "key0");
+  EXPECT_EQ(relation->measure_name(0), "measure0");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  const std::string path = TempPath("tabs.csv");
+  WriteFile(path, "a\tm\n3\t4.5\n");
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto relation = LoadRelationCsv(path, 1, 1, options);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->key(0, 0), 3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ColumnCountMismatchReportsLine) {
+  const std::string path = TempPath("badcols.csv");
+  WriteFile(path, "a,b,m\n1,2,3\n4,5\n");
+  auto relation = LoadRelationCsv(path, 2, 1);
+  ASSERT_FALSE(relation.ok());
+  EXPECT_NE(relation.status().message().find("line 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonNumericFieldRejected) {
+  const std::string path = TempPath("nonnum.csv");
+  WriteFile(path, "a,m\nhello,2\n");
+  EXPECT_FALSE(LoadRelationCsv(path, 1, 1).ok());
+  WriteFile(path, "a,m\n1,world\n");
+  EXPECT_FALSE(LoadRelationCsv(path, 1, 1).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WindowsLineEndingsTolerated) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,m\r\n1,2\r\n");
+  auto relation = LoadRelationCsv(path, 1, 1);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->key(0, 0), 1);
+  EXPECT_DOUBLE_EQ(relation->measure(0, 0), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(
+      LoadRelationCsv("/nonexistent/file.csv", 1, 1).status().IsNotFound());
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  auto relation = Relation::Make({"x", "y"}, {"v", "w"});
+  ASSERT_TRUE(relation->Append({1, 2}, {3.5, -4.0}).ok());
+  ASSERT_TRUE(relation->Append({-7, 0}, {0.25, 100.0}).ok());
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveRelationCsv(*relation, path).ok());
+
+  auto loaded = LoadRelationCsv(path, 2, 2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(loaded->key(0, 1), -7);
+  EXPECT_DOUBLE_EQ(loaded->measure(1, 1), 100.0);
+  EXPECT_EQ(loaded->functional_name(1), "y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadedRelationBuildsCube) {
+  const std::string path = TempPath("tocube.csv");
+  WriteFile(path,
+            "x,y,v\n"
+            "0,0,1\n"
+            "0,0,2\n"
+            "3,3,10\n");
+  auto relation = LoadRelationCsv(path, 2, 1);
+  ASSERT_TRUE(relation.ok());
+  auto shape = CubeShape::Make({4, 4});
+  auto built = CubeBuilder::Build(*relation, *shape);
+  ASSERT_TRUE(built.ok());
+  EXPECT_DOUBLE_EQ(built->cube.At({0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(built->cube.At({3, 3}), 10.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,118 @@
+#include "cube/cube_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+Relation SmallRelation() {
+  auto r = Relation::Make({"x", "y"}, {"v"});
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r->Append({0, 0}, {1.0}).ok());
+  EXPECT_TRUE(r->Append({0, 0}, {2.0}).ok());  // same cell: accumulates
+  EXPECT_TRUE(r->Append({1, 3}, {5.0}).ok());
+  EXPECT_TRUE(r->Append({3, 2}, {-1.0}).ok());
+  return std::move(r).value();
+}
+
+TEST(CubeBuilderTest, SumAggregation) {
+  const Relation r = SmallRelation();
+  auto shape = CubeShape::Make({4, 4});
+  auto built = CubeBuilder::Build(r, *shape);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->cube.At({0, 0}), 3.0);
+  EXPECT_EQ(built->cube.At({1, 3}), 5.0);
+  EXPECT_EQ(built->cube.At({3, 2}), -1.0);
+  EXPECT_EQ(built->cube.At({2, 2}), 0.0);
+  EXPECT_EQ(built->cube.Total(), 7.0);
+}
+
+TEST(CubeBuilderTest, CountCube) {
+  const Relation r = SmallRelation();
+  auto shape = CubeShape::Make({4, 4});
+  CubeBuildOptions options;
+  options.count_instead_of_sum = true;
+  auto built = CubeBuilder::Build(r, *shape, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->cube.At({0, 0}), 2.0);
+  EXPECT_EQ(built->cube.Total(), 4.0);
+}
+
+TEST(CubeBuilderTest, DirectMappingRejectsOutOfRangeKey) {
+  auto r = Relation::Make({"x"}, {"v"});
+  ASSERT_TRUE(r->Append({9}, {1.0}).ok());
+  auto shape = CubeShape::Make({8});
+  auto built = CubeBuilder::Build(*r, *shape);
+  ASSERT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsOutOfRange());
+}
+
+TEST(CubeBuilderTest, DirectMappingRejectsNegativeKey) {
+  auto r = Relation::Make({"x"}, {"v"});
+  ASSERT_TRUE(r->Append({-1}, {1.0}).ok());
+  auto shape = CubeShape::Make({8});
+  EXPECT_FALSE(CubeBuilder::Build(*r, *shape).ok());
+}
+
+TEST(CubeBuilderTest, DictionaryMappingEncodesArbitraryKeys) {
+  auto r = Relation::Make({"sku"}, {"v"});
+  ASSERT_TRUE(r->Append({900001}, {2.0}).ok());
+  ASSERT_TRUE(r->Append({-5}, {3.0}).ok());
+  ASSERT_TRUE(r->Append({900001}, {4.0}).ok());
+  auto shape = CubeShape::Make({4});
+  CubeBuildOptions options;
+  options.mapping = KeyMapping::kDictionary;
+  auto built = CubeBuilder::Build(*r, *shape, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->cube.At({0}), 6.0);  // 900001 -> index 0
+  EXPECT_EQ(built->cube.At({1}), 3.0);  // -5 -> index 1
+  ASSERT_EQ(built->dictionaries.size(), 1u);
+  EXPECT_EQ(built->dictionaries[0].Decode(0), 900001);
+}
+
+TEST(CubeBuilderTest, DictionaryOverflowIsError) {
+  auto r = Relation::Make({"k"}, {"v"});
+  for (int64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(r->Append({k * 100}, {1.0}).ok());
+  }
+  auto shape = CubeShape::Make({2});
+  CubeBuildOptions options;
+  options.mapping = KeyMapping::kDictionary;
+  EXPECT_TRUE(CubeBuilder::Build(*r, *shape, options).status().IsOutOfRange());
+}
+
+TEST(CubeBuilderTest, ArityMismatchIsError) {
+  const Relation r = SmallRelation();
+  auto shape = CubeShape::Make({4});
+  EXPECT_TRUE(CubeBuilder::Build(r, *shape).status().IsInvalidArgument());
+}
+
+TEST(CubeBuilderTest, MeasureColumnSelection) {
+  auto r = Relation::Make({"x"}, {"a", "b"});
+  ASSERT_TRUE(r->Append({1}, {10.0, 20.0}).ok());
+  auto shape = CubeShape::Make({2});
+  CubeBuildOptions options;
+  options.measure_column = 1;
+  auto built = CubeBuilder::Build(*r, *shape, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->cube.At({1}), 20.0);
+}
+
+TEST(CubeBuilderTest, BadMeasureColumnIsError) {
+  auto r = Relation::Make({"x"}, {"a"});
+  auto shape = CubeShape::Make({2});
+  CubeBuildOptions options;
+  options.measure_column = 3;
+  EXPECT_FALSE(CubeBuilder::Build(*r, *shape, options).ok());
+}
+
+TEST(CubeBuilderTest, EmptyRelationGivesZeroCube) {
+  auto r = Relation::Make({"x"}, {"v"});
+  auto shape = CubeShape::Make({4});
+  auto built = CubeBuilder::Build(*r, *shape);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->cube.Total(), 0.0);
+}
+
+}  // namespace
+}  // namespace vecube

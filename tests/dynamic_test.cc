@@ -1,0 +1,123 @@
+#include "select/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/computer.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+struct Fixture {
+  CubeShape shape;
+  Tensor cube;
+};
+
+Fixture MakeFixture(std::vector<uint32_t> extents, uint64_t seed) {
+  auto shape = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(shape.ok());
+  Rng rng(seed);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 9);
+  EXPECT_TRUE(cube.ok());
+  return Fixture{*shape, std::move(cube).value()};
+}
+
+TEST(DynamicTest, StartsWithCubeOnly) {
+  Fixture f = MakeFixture({4, 4}, 1);
+  auto assembler = DynamicAssembler::Make(f.shape, f.cube, DynamicOptions{});
+  ASSERT_TRUE(assembler.ok());
+  EXPECT_EQ((*assembler)->store().size(), 1u);
+  EXPECT_TRUE((*assembler)->store().Contains(ElementId::Root(2)));
+  EXPECT_EQ((*assembler)->reconfiguration_count(), 0u);
+}
+
+TEST(DynamicTest, QueriesAnswerCorrectly) {
+  Fixture f = MakeFixture({4, 4}, 2);
+  auto assembler = DynamicAssembler::Make(f.shape, f.cube, DynamicOptions{});
+  ASSERT_TRUE(assembler.ok());
+  ElementComputer computer(f.shape, &f.cube);
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    auto view = ElementId::AggregatedView(mask, f.shape);
+    auto expected = computer.Compute(*view);
+    auto got = (*assembler)->Query(*view);
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got->ApproxEquals(*expected, 1e-9)) << mask;
+  }
+  EXPECT_EQ((*assembler)->queries_served(), 4u);
+}
+
+TEST(DynamicTest, ReconfiguresUnderSkewedTraffic) {
+  Fixture f = MakeFixture({4, 4}, 3);
+  DynamicOptions options;
+  options.min_queries_between_reconfigs = 8;
+  options.drift_threshold = 0.5;
+  auto assembler = DynamicAssembler::Make(f.shape, f.cube, options);
+  ASSERT_TRUE(assembler.ok());
+  auto hot = ElementId::AggregatedView(0b11, f.shape);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*assembler)->Query(*hot).ok());
+  }
+  EXPECT_GE((*assembler)->reconfiguration_count(), 1u);
+  // After adaptation the hot view is materialized: querying it is free.
+  OpCounter ops;
+  ASSERT_TRUE((*assembler)->Query(*hot, &ops).ok());
+  EXPECT_EQ(ops.adds, 0u);
+}
+
+TEST(DynamicTest, AnswersStayCorrectAcrossReconfigurations) {
+  Fixture f = MakeFixture({4, 4}, 4);
+  DynamicOptions options;
+  options.min_queries_between_reconfigs = 4;
+  options.drift_threshold = 0.2;
+  options.access_decay = 0.9;
+  auto assembler = DynamicAssembler::Make(f.shape, f.cube, options);
+  ASSERT_TRUE(assembler.ok());
+  ElementComputer computer(f.shape, &f.cube);
+  Rng rng(99);
+  for (int i = 0; i < 60; ++i) {
+    const uint32_t mask = static_cast<uint32_t>(rng.UniformU64(4));
+    auto view = ElementId::AggregatedView(mask, f.shape);
+    auto expected = computer.Compute(*view);
+    auto got = (*assembler)->Query(*view);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->ApproxEquals(*expected, 1e-9)) << "query " << i;
+  }
+}
+
+TEST(DynamicTest, ForcedReconfigureNeedsObservations) {
+  Fixture f = MakeFixture({4, 4}, 5);
+  auto assembler = DynamicAssembler::Make(f.shape, f.cube, DynamicOptions{});
+  ASSERT_TRUE(assembler.ok());
+  EXPECT_TRUE((*assembler)->Reconfigure().IsFailedPrecondition());
+}
+
+TEST(DynamicTest, StorageBudgetAddsRedundancy) {
+  Fixture f = MakeFixture({4, 4}, 6);
+  DynamicOptions options;
+  options.storage_budget_cells = 2 * f.shape.volume();
+  auto assembler = DynamicAssembler::Make(f.shape, f.cube, options);
+  ASSERT_TRUE(assembler.ok());
+  auto a = ElementId::AggregatedView(0b01, f.shape);
+  auto b = ElementId::AggregatedView(0b10, f.shape);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*assembler)->Query(*a).ok());
+    ASSERT_TRUE((*assembler)->Query(*b).ok());
+  }
+  ASSERT_TRUE((*assembler)->Reconfigure().ok());
+  // With budget for redundancy, both hot views end up free.
+  OpCounter ops;
+  ASSERT_TRUE((*assembler)->Query(*a, &ops).ok());
+  ASSERT_TRUE((*assembler)->Query(*b, &ops).ok());
+  EXPECT_EQ(ops.adds, 0u);
+  EXPECT_LE((*assembler)->store().StorageCells(), options.storage_budget_cells);
+}
+
+TEST(DynamicTest, ShapeMismatchRejected) {
+  Fixture f = MakeFixture({4, 4}, 7);
+  auto other = CubeShape::Make({8, 8});
+  EXPECT_FALSE(DynamicAssembler::Make(*other, f.cube, DynamicOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace vecube

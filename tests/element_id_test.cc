@@ -1,0 +1,174 @@
+#include "core/element_id.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace vecube {
+namespace {
+
+CubeShape Shape(std::vector<uint32_t> extents) {
+  auto s = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(ElementIdTest, RootHasZeroCodes) {
+  const ElementId root = ElementId::Root(3);
+  EXPECT_TRUE(root.IsRoot());
+  EXPECT_EQ(root.ndim(), 3u);
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_EQ(root.dim(m).level, 0u);
+    EXPECT_EQ(root.dim(m).offset, 0u);
+  }
+}
+
+TEST(ElementIdTest, MakeValidates) {
+  const CubeShape shape = Shape({4, 4});
+  EXPECT_TRUE(ElementId::Make({{2, 3}, {0, 0}}, shape).ok());
+  EXPECT_FALSE(ElementId::Make({{3, 0}, {0, 0}}, shape).ok());  // level > K
+  EXPECT_FALSE(ElementId::Make({{1, 2}, {0, 0}}, shape).ok());  // offset >= 2^k
+  EXPECT_FALSE(ElementId::Make({{0, 0}}, shape).ok());          // arity
+}
+
+TEST(ElementIdTest, ChildMapping) {
+  // P: (k, o) -> (k+1, 2o); R: (k, o) -> (k+1, 2o+1).   (Eq. 23)
+  const CubeShape shape = Shape({8});
+  const ElementId root = ElementId::Root(1);
+  auto p = root.Child(0, StepKind::kPartial, shape);
+  auto r = root.Child(0, StepKind::kResidual, shape);
+  ASSERT_TRUE(p.ok() && r.ok());
+  EXPECT_EQ(p->dim(0), (DimCode{1, 0}));
+  EXPECT_EQ(r->dim(0), (DimCode{1, 1}));
+  auto rp = r->Child(0, StepKind::kPartial, shape);
+  auto rr = r->Child(0, StepKind::kResidual, shape);
+  EXPECT_EQ(rp->dim(0), (DimCode{2, 2}));
+  EXPECT_EQ(rr->dim(0), (DimCode{2, 3}));
+}
+
+TEST(ElementIdTest, CannotSplitBeyondDepth) {
+  const CubeShape shape = Shape({4});
+  auto leaf = ElementId::Make({{2, 1}}, shape);
+  EXPECT_FALSE(leaf->CanSplit(0, shape));
+  EXPECT_TRUE(
+      leaf->Child(0, StepKind::kPartial, shape).status().IsFailedPrecondition());
+}
+
+TEST(ElementIdTest, ParentInvertsChild) {
+  const CubeShape shape = Shape({8, 8});
+  const ElementId root = ElementId::Root(2);
+  auto c1 = root.Child(1, StepKind::kResidual, shape);
+  auto c2 = c1->Child(1, StepKind::kPartial, shape);
+  auto back = c2->Parent(1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, *c1);
+  EXPECT_TRUE(root.Parent(0).status().IsFailedPrecondition());
+}
+
+TEST(ElementIdTest, SiblingToggles) {
+  const CubeShape shape = Shape({4});
+  auto p = ElementId::Root(1).Child(0, StepKind::kPartial, shape);
+  auto sibling = p->Sibling(0);
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_EQ(sibling->dim(0), (DimCode{1, 1}));
+  EXPECT_EQ(*sibling->Sibling(0), *p);
+  EXPECT_TRUE(p->IsPartialChild(0));
+  EXPECT_FALSE(sibling->IsPartialChild(0));
+}
+
+TEST(ElementIdTest, AggregatedViewMasks) {
+  const CubeShape shape = Shape({4, 8});
+  auto v0 = ElementId::AggregatedView(0, shape);   // the cube
+  auto v1 = ElementId::AggregatedView(1, shape);   // aggregate dim 0
+  auto v3 = ElementId::AggregatedView(3, shape);   // total
+  ASSERT_TRUE(v0.ok() && v1.ok() && v3.ok());
+  EXPECT_TRUE(v0->IsRoot());
+  EXPECT_EQ(v1->dim(0), (DimCode{2, 0}));
+  EXPECT_EQ(v1->dim(1), (DimCode{0, 0}));
+  EXPECT_EQ(v3->dim(1), (DimCode{3, 0}));
+  EXPECT_TRUE(v0->IsAggregatedView(shape));
+  EXPECT_TRUE(v1->IsAggregatedView(shape));
+  EXPECT_TRUE(v3->IsAggregatedView(shape));
+}
+
+TEST(ElementIdTest, PartialChainIsIntermediateNotAggregated) {
+  const CubeShape shape = Shape({8});
+  auto p1 = ElementId::Intermediate({1}, shape);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_TRUE(p1->IsIntermediate());
+  EXPECT_FALSE(p1->IsAggregatedView(shape));  // partially aggregated only
+  EXPECT_FALSE(p1->IsResidual());
+}
+
+TEST(ElementIdTest, ResidualClassification) {
+  const CubeShape shape = Shape({4, 4});
+  auto residual = ElementId::Make({{1, 1}, {0, 0}}, shape);
+  EXPECT_TRUE(residual->IsResidual());
+  EXPECT_FALSE(residual->IsIntermediate());
+  EXPECT_FALSE(residual->IsAggregatedView(shape));
+}
+
+TEST(ElementIdTest, DataExtentsAndVolume) {
+  const CubeShape shape = Shape({8, 4});
+  auto id = ElementId::Make({{2, 3}, {1, 0}}, shape);
+  EXPECT_EQ(id->DataExtents(shape), (std::vector<uint32_t>{2, 2}));
+  EXPECT_EQ(id->DataVolume(shape), 4u);
+  EXPECT_EQ(ElementId::Root(2).DataVolume(shape), 32u);
+}
+
+TEST(ElementIdTest, TotalLevel) {
+  const CubeShape shape = Shape({8, 4});
+  auto id = ElementId::Make({{2, 3}, {1, 0}}, shape);
+  EXPECT_EQ(id->TotalLevel(), 3u);
+  EXPECT_EQ(ElementId::Root(2).TotalLevel(), 0u);
+}
+
+TEST(ElementIdTest, PathFromRootEncodesOffsets) {
+  const CubeShape shape = Shape({8});
+  // offset 5 at level 3 = binary 101 = R, P, R from the root.
+  auto id = ElementId::Make({{3, 5}}, shape);
+  const auto path = id->PathFromRoot();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], (CascadeStep{0, StepKind::kResidual}));
+  EXPECT_EQ(path[1], (CascadeStep{0, StepKind::kPartial}));
+  EXPECT_EQ(path[2], (CascadeStep{0, StepKind::kResidual}));
+}
+
+TEST(ElementIdTest, PathFromRootReachesId) {
+  const CubeShape shape = Shape({8, 4});
+  auto id = ElementId::Make({{2, 1}, {1, 1}}, shape);
+  ElementId current = ElementId::Root(2);
+  for (const CascadeStep& step : id->PathFromRoot()) {
+    auto next = current.Child(step.dim, step.kind, shape);
+    ASSERT_TRUE(next.ok());
+    current = *next;
+  }
+  EXPECT_EQ(current, *id);
+}
+
+TEST(ElementIdTest, OrderingAndEquality) {
+  const CubeShape shape = Shape({4, 4});
+  auto a = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  auto b = ElementId::Make({{0, 0}, {1, 1}}, shape);
+  EXPECT_TRUE(*a < *b);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(*a, *ElementId::Make({{0, 0}, {1, 0}}, shape));
+}
+
+TEST(ElementIdTest, HashDistinguishes) {
+  const CubeShape shape = Shape({4, 4});
+  std::unordered_set<ElementId, ElementIdHash> set;
+  set.insert(*ElementId::Make({{1, 0}, {0, 0}}, shape));
+  set.insert(*ElementId::Make({{0, 0}, {1, 0}}, shape));
+  set.insert(*ElementId::Make({{1, 0}, {0, 0}}, shape));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ElementIdTest, ToString) {
+  const CubeShape shape = Shape({4, 4});
+  auto id = ElementId::Make({{2, 3}, {0, 0}}, shape);
+  EXPECT_EQ(id->ToString(), "(2@3, 0@0)");
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,114 @@
+#include "core/freq_rect.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+CubeShape Shape(std::vector<uint32_t> extents) {
+  auto s = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(FreqRectTest, RootCoversWholePlane) {
+  const CubeShape shape = Shape({8, 4});
+  const FreqRect rect = FreqRect::Of(ElementId::Root(2), shape);
+  EXPECT_EQ(rect.interval(0), (FreqInterval{0, 8}));
+  EXPECT_EQ(rect.interval(1), (FreqInterval{0, 4}));
+  EXPECT_EQ(rect.Volume(), 32u);
+}
+
+TEST(FreqRectTest, ChildHalvesInterval) {
+  // Eq. 21-22: P keeps the position, R moves to the upper half.
+  const CubeShape shape = Shape({8});
+  const ElementId root = ElementId::Root(1);
+  auto p = root.Child(0, StepKind::kPartial, shape);
+  auto r = root.Child(0, StepKind::kResidual, shape);
+  EXPECT_EQ(FreqRect::Of(*p, shape).interval(0), (FreqInterval{0, 4}));
+  EXPECT_EQ(FreqRect::Of(*r, shape).interval(0), (FreqInterval{4, 8}));
+}
+
+TEST(FreqRectTest, DeepOffsets) {
+  const CubeShape shape = Shape({8});
+  auto id = ElementId::Make({{3, 5}}, shape);
+  EXPECT_EQ(FreqRect::Of(*id, shape).interval(0), (FreqInterval{5, 6}));
+}
+
+TEST(FreqRectTest, VolumeEqualsDataVolume) {
+  const CubeShape shape = Shape({8, 4, 2});
+  auto id = ElementId::Make({{1, 1}, {2, 0}, {0, 0}}, shape);
+  EXPECT_EQ(FreqRect::Of(*id, shape).Volume(), id->DataVolume(shape));
+}
+
+TEST(FreqRectTest, SiblingsDisjoint) {
+  const CubeShape shape = Shape({8, 8});
+  auto p = ElementId::Root(2).Child(0, StepKind::kPartial, shape);
+  auto r = ElementId::Root(2).Child(0, StepKind::kResidual, shape);
+  EXPECT_EQ(FreqRect::Of(*p, shape).Overlap(FreqRect::Of(*r, shape)), 0u);
+  EXPECT_FALSE(FreqRect::Of(*p, shape).Intersects(FreqRect::Of(*r, shape)));
+}
+
+TEST(FreqRectTest, OverlapOfCrossedHalves) {
+  // (P, I) and (I, P) overlap in the lower-left quadrant.
+  const CubeShape shape = Shape({4, 4});
+  auto a = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto b = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  EXPECT_EQ(OverlapCells(*a, *b, shape), 4u);  // 2 x 2 cells
+}
+
+TEST(FreqRectTest, ContainsIsAncestry) {
+  const CubeShape shape = Shape({8, 8});
+  const ElementId root = ElementId::Root(2);
+  auto child = root.Child(0, StepKind::kResidual, shape);
+  auto grandchild = child->Child(1, StepKind::kPartial, shape);
+  const FreqRect root_rect = FreqRect::Of(root, shape);
+  const FreqRect child_rect = FreqRect::Of(*child, shape);
+  const FreqRect gc_rect = FreqRect::Of(*grandchild, shape);
+  EXPECT_TRUE(root_rect.Contains(child_rect));
+  EXPECT_TRUE(child_rect.Contains(gc_rect));
+  EXPECT_FALSE(gc_rect.Contains(child_rect));
+}
+
+TEST(FreqRectTest, IsAncestorOfMatchesContains) {
+  const CubeShape shape = Shape({4, 4});
+  std::vector<ElementId> all;
+  for (uint32_t l0 = 0; l0 <= 2; ++l0) {
+    for (uint32_t o0 = 0; o0 < (1u << l0); ++o0) {
+      for (uint32_t l1 = 0; l1 <= 2; ++l1) {
+        for (uint32_t o1 = 0; o1 < (1u << l1); ++o1) {
+          all.push_back(*ElementId::Make({{l0, o0}, {l1, o1}}, shape));
+        }
+      }
+    }
+  }
+  for (const ElementId& a : all) {
+    for (const ElementId& b : all) {
+      EXPECT_EQ(IsAncestorOf(a, b),
+                FreqRect::Of(a, shape).Contains(FreqRect::Of(b, shape)))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(FreqRectTest, SelfOverlapIsVolume) {
+  const CubeShape shape = Shape({8, 2});
+  auto id = ElementId::Make({{2, 1}, {1, 0}}, shape);
+  EXPECT_EQ(OverlapCells(*id, *id, shape), id->DataVolume(shape));
+}
+
+TEST(FreqRectTest, AncestorOverlapIsDescendantVolume) {
+  const CubeShape shape = Shape({8, 8});
+  const ElementId root = ElementId::Root(2);
+  auto child = root.Child(1, StepKind::kPartial, shape);
+  EXPECT_EQ(OverlapCells(root, *child, shape), child->DataVolume(shape));
+}
+
+TEST(FreqRectTest, ToString) {
+  const CubeShape shape = Shape({4});
+  auto id = ElementId::Make({{1, 1}}, shape);
+  EXPECT_EQ(FreqRect::Of(*id, shape).ToString(), "{[2,4)}");
+}
+
+}  // namespace
+}  // namespace vecube

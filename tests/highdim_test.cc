@@ -1,0 +1,114 @@
+// High-dimensionality stress tests: a 16-dimensional cube of extent 2 per
+// dimension has N_ve = 3^16 ~ 43M — beyond the dense memo tables — so
+// these exercise the hash-map planning fallback, plus the combinatorics
+// at the dimensional limit.
+
+#include <gtest/gtest.h>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/freq_rect.h"
+#include "core/graph.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+class HighDimFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto shape = CubeShape::MakeSquare(16, 2);
+    ASSERT_TRUE(shape.ok());
+    shape_ = *shape;
+    Rng rng(77);
+    auto cube = UniformIntegerCube(shape_, &rng, -5, 5);
+    ASSERT_TRUE(cube.ok());
+    cube_ = std::move(cube).value();
+  }
+
+  CubeShape shape_;
+  Tensor cube_;
+};
+
+TEST_F(HighDimFixture, GraphCensus) {
+  ViewElementGraph graph(shape_);
+  uint64_t expected = 1;
+  for (int i = 0; i < 16; ++i) expected *= 3;
+  EXPECT_EQ(graph.NumElements(), expected);       // 3^16
+  EXPECT_EQ(graph.NumAggregatedViews(), 65536u);  // 2^16
+  EXPECT_EQ(graph.NumIntermediate(), 65536u);     // 2^16 (levels 0/1)
+}
+
+TEST_F(HighDimFixture, HashFallbackPlansAndAssembles) {
+  // With extent 2, every aggregated view is also an element reachable in
+  // one P per dimension. Store the cube only; plan and execute a few
+  // deep aggregations through the hash-map memo path.
+  ElementComputer computer(shape_, &cube_);
+  auto store = computer.Materialize(CubeOnlySet(shape_));
+  ASSERT_TRUE(store.ok());
+  AssemblyEngine engine(&*store);
+
+  for (uint32_t mask : {0x0001u, 0x00FFu, 0xFFFFu, 0x5555u}) {
+    auto view = ElementId::AggregatedView(mask, shape_);
+    ASSERT_TRUE(view.ok());
+    const uint64_t plan = engine.PlanCost(*view);
+    ASSERT_NE(plan, kInfiniteCost);
+    OpCounter ops;
+    auto out = engine.Assemble(*view, &ops);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(ops.adds, plan);
+    // Aggregation from the cube costs Vol(A) - Vol(view).
+    EXPECT_EQ(plan, shape_.volume() - view->DataVolume(shape_));
+  }
+}
+
+TEST_F(HighDimFixture, GrandTotalExact) {
+  ElementComputer computer(shape_, &cube_);
+  auto store = computer.Materialize(CubeOnlySet(shape_));
+  AssemblyEngine engine(&*store);
+  auto total = engine.AssembleView(0xFFFF);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ((*total)[0], cube_.Total());
+}
+
+TEST_F(HighDimFixture, SiblingBasisReconstructs) {
+  // Split along dimension 7; reconstruct the cube from the two halves via
+  // the hash-map planner.
+  const ElementId root = ElementId::Root(16);
+  auto p = root.Child(7, StepKind::kPartial, shape_);
+  auto r = root.Child(7, StepKind::kResidual, shape_);
+  ElementComputer computer(shape_, &cube_);
+  auto store = computer.Materialize({*p, *r});
+  ASSERT_TRUE(store.ok());
+  AssemblyEngine engine(&*store);
+  auto back = engine.Assemble(root);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(cube_, 0.0));
+}
+
+TEST_F(HighDimFixture, WaveletBasisNonExpansive) {
+  const auto basis = WaveletBasisSet(shape_);
+  // Joint split of 16 binary dims: 2^16 - 1 details + 1 total.
+  EXPECT_EQ(basis.size(), 65536u);
+  EXPECT_EQ(StorageVolume(basis, shape_), shape_.volume());
+  // The full O(n^2) disjointness check is infeasible at 65536 elements;
+  // Σ volumes == Vol(A) plus spot-checked pairwise disjointness covers it
+  // (overlap anywhere would force the volume sum above Vol(A) for a
+  // cover, and these are all distinct single-cell leaves + the total).
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto& a = basis[static_cast<size_t>(rng.UniformU64(basis.size()))];
+    const auto& b = basis[static_cast<size_t>(rng.UniformU64(basis.size()))];
+    if (a == b) continue;
+    EXPECT_EQ(OverlapCells(a, b, shape_), 0u);
+  }
+}
+
+TEST(DimensionLimitTest, SeventeenDimsRejected) {
+  EXPECT_FALSE(CubeShape::Make(std::vector<uint32_t>(17, 2)).ok());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,94 @@
+#include "select/pair_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+CubeShape Shape(std::vector<uint32_t> extents) {
+  auto s = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(PairCostTest, DisjointElementsCostZero) {
+  const CubeShape shape = Shape({4, 4});
+  auto p = ElementId::Root(2).Child(0, StepKind::kPartial, shape);
+  auto r = ElementId::Root(2).Child(0, StepKind::kResidual, shape);
+  EXPECT_EQ(PairCost(*p, *r, shape), 0u);
+}
+
+TEST(PairCostTest, SelfCostZero) {
+  const CubeShape shape = Shape({8, 8});
+  auto v = ElementId::AggregatedView(1, shape);
+  EXPECT_EQ(PairCost(*v, *v, shape), 0u);
+}
+
+TEST(PairCostTest, AncestorToDescendantIsVolumeDifference) {
+  // Eq. 28 telescopes to Vol(a) - I.
+  const CubeShape shape = Shape({8, 8});
+  const ElementId root = ElementId::Root(2);
+  auto view = ElementId::AggregatedView(0b01, shape);  // vol 8
+  EXPECT_EQ(PairCost(root, *view, shape), 64u - 8u);
+  EXPECT_EQ(PairCost(*view, root, shape), 56u);  // symmetric
+}
+
+TEST(PairCostTest, CrossedHalves) {
+  // (P, I) supporting (I, P) on a 2x2 cube: I = 1, cost (2-1)+(2-1) = 2.
+  const CubeShape shape = Shape({2, 2});
+  auto v1 = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto v7 = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  EXPECT_EQ(PairCost(*v1, *v7, shape), 2u);
+}
+
+TEST(PairCostTest, SupportCostWeighted) {
+  const CubeShape shape = Shape({2, 2});
+  auto v1 = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto v7 = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  auto pop = FixedPopulation({{*v1, 0.5}, {*v7, 0.5}}, shape);
+  ASSERT_TRUE(pop.ok());
+  // C(V1, V1) = 0, C(V1, V7) = 2 -> weighted 1.0.
+  EXPECT_DOUBLE_EQ(SupportCost(*v1, *pop, shape), 1.0);
+}
+
+TEST(PairCostTest, PopulationPairCostSumsMembers) {
+  const CubeShape shape = Shape({2, 2});
+  auto v1 = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto v4 = ElementId::Make({{1, 1}, {0, 0}}, shape);
+  auto v7 = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  auto pop = FixedPopulation({{*v1, 0.5}, {*v7, 0.5}}, shape);
+  // {V1, V4}: V1 free; V7 costs 2 from each -> weighted total 2.0.
+  EXPECT_DOUBLE_EQ(PopulationPairCost({*v1, *v4}, *pop, shape), 2.0);
+}
+
+TEST(PairCostTest, UnweightedMatchesPaperConvention) {
+  const CubeShape shape = Shape({2, 2});
+  auto v1 = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto v4 = ElementId::Make({{1, 1}, {0, 0}}, shape);
+  auto v7 = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  EXPECT_EQ(UnweightedPairCost({*v1, *v4}, {*v1, *v7}, shape), 4u);
+}
+
+TEST(PairCostTest, CubeOnlyCostIsVolumeDeficit) {
+  // Supporting view Z from the cube costs Vol(A) - Vol(Z) (per query).
+  const CubeShape shape = Shape({4, 4});
+  const ElementId root = ElementId::Root(2);
+  auto views = std::vector<ElementId>{
+      *ElementId::AggregatedView(1, shape),   // vol 4
+      *ElementId::AggregatedView(2, shape),   // vol 4
+      *ElementId::AggregatedView(3, shape)};  // vol 1
+  EXPECT_EQ(UnweightedPairCost({root}, views, shape),
+            (16u - 4u) + (16u - 4u) + (16u - 1u));
+}
+
+TEST(PairCostTest, PartialOverlapBothSidesCharged) {
+  // a = (1@0, 0@0) (left half), k = (0@0, 1@0) (bottom half) on 4x4:
+  // I = 2*2 = 4, C = (8-4) + (8-4) = 8.
+  const CubeShape shape = Shape({4, 4});
+  auto a = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  auto k = ElementId::Make({{0, 0}, {1, 0}}, shape);
+  EXPECT_EQ(PairCost(*a, *k, shape), 8u);
+}
+
+}  // namespace
+}  // namespace vecube

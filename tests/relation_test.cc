@@ -1,0 +1,73 @@
+#include "cube/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+TEST(RelationTest, MakeRequiresAttributes) {
+  EXPECT_FALSE(Relation::Make({}, {"m"}).ok());
+  EXPECT_FALSE(Relation::Make({"a"}, {}).ok());
+  EXPECT_TRUE(Relation::Make({"a"}, {"m"}).ok());
+}
+
+TEST(RelationTest, AppendAndRead) {
+  auto r = Relation::Make({"product", "store"}, {"sales"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->Append({3, 1}, {9.5}).ok());
+  ASSERT_TRUE(r->Append({2, 0}, {1.5}).ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->key(0, 0), 3);
+  EXPECT_EQ(r->key(1, 1), 0);
+  EXPECT_EQ(r->measure(0, 0), 9.5);
+  EXPECT_EQ(r->measure(0, 1), 1.5);
+}
+
+TEST(RelationTest, AppendValidatesArity) {
+  auto r = Relation::Make({"a", "b"}, {"m"});
+  EXPECT_FALSE(r->Append({1}, {2.0}).ok());
+  EXPECT_FALSE(r->Append({1, 2}, {}).ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+TEST(RelationTest, Names) {
+  auto r = Relation::Make({"a", "b"}, {"m1", "m2"});
+  EXPECT_EQ(r->functional_name(1), "b");
+  EXPECT_EQ(r->measure_name(1), "m2");
+  EXPECT_EQ(r->num_functional(), 2u);
+  EXPECT_EQ(r->num_measures(), 2u);
+}
+
+TEST(RelationTest, MultipleMeasures) {
+  auto r = Relation::Make({"a"}, {"sum", "count"});
+  ASSERT_TRUE(r->Append({0}, {5.0, 1.0}).ok());
+  EXPECT_EQ(r->measure(1, 0), 1.0);
+}
+
+TEST(DictionaryTest, EncodesFirstSeenOrder) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Encode(100), 0u);
+  EXPECT_EQ(dict.Encode(-7), 1u);
+  EXPECT_EQ(dict.Encode(100), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, DecodeInverse) {
+  Dictionary dict;
+  dict.Encode(42);
+  dict.Encode(7);
+  EXPECT_EQ(dict.Decode(0), 42);
+  EXPECT_EQ(dict.Decode(1), 7);
+}
+
+TEST(DictionaryTest, LookupMissing) {
+  Dictionary dict;
+  dict.Encode(1);
+  auto hit = dict.Lookup(1);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, 0u);
+  EXPECT_TRUE(dict.Lookup(2).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,101 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace vecube {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differences;
+  }
+  EXPECT_GT(differences, 28);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64BoundOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.UniformU64(1), 0u);
+}
+
+TEST(RngTest, UniformU64HitsAllResidues) {
+  Rng rng(99);
+  bool seen[8] = {};
+  for (int i = 0; i < 400; ++i) seen[rng.UniformU64(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRange) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double u = rng.UniformDouble(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsCentered) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.UniformDouble();
+  EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(RngTest, SimplexSumsToOne) {
+  Rng rng(3);
+  for (size_t k : {1u, 2u, 16u, 100u}) {
+    const auto w = rng.Simplex(k);
+    ASSERT_EQ(w.size(), k);
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    for (double x : w) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(RngTest, ZipfWeightsSumToOneAndSkewed) {
+  Rng rng(3);
+  const auto w = rng.ZipfWeights(64, 1.0);
+  ASSERT_EQ(w.size(), 64u);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+  // The largest weight of Zipf(1) over 64 items is 1/H_64 ~ 0.21.
+  double max_w = 0.0;
+  for (double x : w) max_w = std::max(max_w, x);
+  EXPECT_GT(max_w, 0.15);
+}
+
+TEST(RngTest, ZipfExponentZeroIsUniform) {
+  Rng rng(4);
+  const auto w = rng.ZipfWeights(10, 0.0);
+  for (double x : w) EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace vecube

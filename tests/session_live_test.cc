@@ -1,0 +1,133 @@
+// Live-session tests: incremental fact appends, AVG queries over the
+// parallel COUNT store, and padded (non-power-of-two) domains — the
+// operational surface a deployment actually touches.
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+TEST(SessionLiveTest, AddFactUpdatesViewsWithoutRematerialization) {
+  auto shape = CubeShape::Make({8, 8});
+  Rng rng(1);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 9);
+  auto session = OlapSession::FromCube(*shape, *cube);
+  ASSERT_TRUE(session.ok());
+
+  // Tune the store for the grand total, so AddFact must maintain a
+  // non-trivial element (the total aggregation).
+  auto pop = FixedPopulation(
+      {{*ElementId::AggregatedView(0b11, *shape), 1.0}}, *shape);
+  ASSERT_TRUE((*session)->DeclareWorkload(*pop).ok());
+  ASSERT_TRUE((*session)->Optimize().ok());
+
+  auto before = (*session)->ViewByMask(0b11);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE((*session)->AddFact({3, 5}, 42.0).ok());
+  ASSERT_TRUE((*session)->AddFact({0, 0}, -2.0).ok());
+
+  auto after = (*session)->ViewByMask(0b11);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ((*after)[0], (*before)[0] + 40.0);
+
+  // The session's base cube stayed consistent too.
+  EXPECT_DOUBLE_EQ((*session)->cube().At({3, 5}), cube->At({3, 5}) + 42.0);
+}
+
+TEST(SessionLiveTest, AddFactValidates) {
+  auto shape = CubeShape::Make({4, 4});
+  auto session = OlapSession::FromCube(*shape, *Tensor::Zeros({4, 4}));
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE((*session)->AddFact({4, 0}, 1.0).IsOutOfRange());
+  EXPECT_TRUE((*session)->AddFact({0}, 1.0).IsInvalidArgument());
+}
+
+TEST(SessionLiveTest, AvgRequiresCountCube) {
+  auto shape = CubeShape::Make({4, 4});
+  auto session = OlapSession::FromCube(*shape, *Tensor::Zeros({4, 4}));
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE((*session)->AvgByMask(0b11).status().IsFailedPrecondition());
+}
+
+TEST(SessionLiveTest, AvgFromRelation) {
+  auto shape = CubeShape::Make({4, 4});
+  auto relation = Relation::Make({"x", "y"}, {"v"});
+  ASSERT_TRUE(relation->Append({1, 1}, {10.0}).ok());
+  ASSERT_TRUE(relation->Append({1, 1}, {20.0}).ok());
+  ASSERT_TRUE(relation->Append({1, 2}, {6.0}).ok());
+  ASSERT_TRUE(relation->Append({3, 0}, {8.0}).ok());
+
+  OlapSession::Options options;
+  options.maintain_count_cube = true;
+  auto session =
+      OlapSession::FromRelation(*relation, *shape, CubeBuildOptions{}, options);
+  ASSERT_TRUE(session.ok());
+
+  // AVG per x over all y: x=1 -> 36/3 = 12; x=3 -> 8/1; x=0 -> 0 records.
+  auto avg = (*session)->AvgByMask(0b10);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->At({1, 0}), 12.0);
+  EXPECT_DOUBLE_EQ(avg->At({3, 0}), 8.0);
+  EXPECT_DOUBLE_EQ(avg->At({0, 0}), 0.0);  // zero-count cell
+}
+
+TEST(SessionLiveTest, AvgStaysCorrectThroughAddFactAndOptimize) {
+  auto shape = CubeShape::Make({4, 4});
+  auto relation = Relation::Make({"x", "y"}, {"v"});
+  ASSERT_TRUE(relation->Append({0, 0}, {4.0}).ok());
+  OlapSession::Options options;
+  options.maintain_count_cube = true;
+  auto session =
+      OlapSession::FromRelation(*relation, *shape, CubeBuildOptions{}, options);
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE((*session)->AddFact({0, 0}, 10.0).ok());  // now 2 records
+  auto avg = (*session)->AvgByMask(0b11);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ((*avg)[0], 7.0);
+
+  // After re-optimization both sides rematerialize consistently.
+  ASSERT_TRUE((*session)->Optimize().ok());
+  ASSERT_TRUE((*session)->AddFact({2, 2}, 1.0).ok());
+  auto avg2 = (*session)->AvgByMask(0b11);
+  ASSERT_TRUE(avg2.ok());
+  EXPECT_DOUBLE_EQ((*avg2)[0], 15.0 / 3.0);
+}
+
+TEST(SessionLiveTest, PaddedShapeHandlesRaggedDomains) {
+  // 5 products x 13 weeks pads to 8 x 16; padding cells hold zero and do
+  // not perturb SUM aggregates.
+  auto shape = CubeShape::MakePadded({5, 13});
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->extents(), (std::vector<uint32_t>{8, 16}));
+
+  auto relation = Relation::Make({"product", "week"}, {"sales"});
+  ASSERT_TRUE(relation->Append({4, 12}, {100.0}).ok());
+  ASSERT_TRUE(relation->Append({0, 0}, {50.0}).ok());
+  auto session = OlapSession::FromRelation(*relation, *shape);
+  ASSERT_TRUE(session.ok());
+
+  auto total = (*session)->ViewByMask(0b11);
+  ASSERT_TRUE(total.ok());
+  EXPECT_DOUBLE_EQ((*total)[0], 150.0);
+
+  auto by_product = (*session)->ViewByMask(0b10);
+  ASSERT_TRUE(by_product.ok());
+  EXPECT_DOUBLE_EQ(by_product->At({4, 0}), 100.0);
+  EXPECT_DOUBLE_EQ(by_product->At({5, 0}), 0.0);  // padding row
+}
+
+TEST(SessionLiveTest, PaddedShapeValidation) {
+  EXPECT_FALSE(CubeShape::MakePadded({0, 4}).ok());
+  auto already = CubeShape::MakePadded({8, 16});
+  ASSERT_TRUE(already.ok());
+  EXPECT_EQ(already->extents(), (std::vector<uint32_t>{8, 16}));
+}
+
+}  // namespace
+}  // namespace vecube

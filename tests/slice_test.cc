@@ -1,0 +1,89 @@
+#include "range/slice.h"
+
+#include <gtest/gtest.h>
+
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+struct Fixture {
+  CubeShape shape;
+  Tensor cube;
+};
+
+Fixture MakeFixture() {
+  auto shape = CubeShape::Make({4, 8});
+  EXPECT_TRUE(shape.ok());
+  Rng rng(1);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 99);
+  EXPECT_TRUE(cube.ok());
+  return Fixture{*shape, std::move(cube).value()};
+}
+
+TEST(SliceTest, FullRangeCopiesCube) {
+  Fixture f = MakeFixture();
+  auto range = RangeSpec::Make({0, 0}, {4, 8}, f.shape);
+  auto sub = ExtractSubcube(f.cube, f.shape, *range);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->ApproxEquals(f.cube, 0.0));
+}
+
+TEST(SliceTest, SubcubeValuesMatch) {
+  Fixture f = MakeFixture();
+  auto range = RangeSpec::Make({1, 3}, {2, 4}, f.shape);
+  auto sub = ExtractSubcube(f.cube, f.shape, *range);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->extents(), (std::vector<uint32_t>{2, 4}));
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(sub->At({i, j}), f.cube.At({1 + i, 3 + j}));
+    }
+  }
+}
+
+TEST(SliceTest, SingleCell) {
+  Fixture f = MakeFixture();
+  auto range = RangeSpec::Make({3, 7}, {1, 1}, f.shape);
+  auto sub = ExtractSubcube(f.cube, f.shape, *range);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->size(), 1u);
+  EXPECT_EQ((*sub)[0], f.cube.At({3, 7}));
+}
+
+TEST(SliceTest, SliceFixesOneDim) {
+  Fixture f = MakeFixture();
+  auto slice = ExtractSlice(f.cube, f.shape, 0, 2);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->extents(), (std::vector<uint32_t>{1, 8}));
+  for (uint32_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(slice->At({0, j}), f.cube.At({2, j}));
+  }
+}
+
+TEST(SliceTest, SubcubeSumMatchesRangeVolume) {
+  Fixture f = MakeFixture();
+  auto range = RangeSpec::Make({0, 2}, {4, 3}, f.shape);
+  auto sub = ExtractSubcube(f.cube, f.shape, *range);
+  ASSERT_TRUE(sub.ok());
+  double expected = 0.0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 2; j < 5; ++j) expected += f.cube.At({i, j});
+  }
+  EXPECT_DOUBLE_EQ(sub->Total(), expected);
+}
+
+TEST(SliceTest, Validation) {
+  Fixture f = MakeFixture();
+  RangeSpec bad{{0, 0}, {5, 8}};
+  EXPECT_FALSE(ExtractSubcube(f.cube, f.shape, bad).ok());
+  EXPECT_FALSE(ExtractSlice(f.cube, f.shape, 2, 0).ok());
+  EXPECT_FALSE(ExtractSlice(f.cube, f.shape, 0, 4).ok());
+  auto wrong = Tensor::Zeros({2, 2});
+  auto range = RangeSpec::Make({0, 0}, {1, 1}, f.shape);
+  EXPECT_FALSE(ExtractSubcube(*wrong, f.shape, *range).ok());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,83 @@
+#include "cube/sparse_cube.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+CubeShape Shape44() {
+  auto s = CubeShape::Make({4, 4});
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(SparseCubeTest, AddAndGet) {
+  SparseCube sc(Shape44());
+  ASSERT_TRUE(sc.Add({1, 2}, 5.0).ok());
+  EXPECT_EQ(sc.Get({1, 2}), 5.0);
+  EXPECT_EQ(sc.Get({2, 1}), 0.0);
+  EXPECT_EQ(sc.num_nonzero(), 1u);
+}
+
+TEST(SparseCubeTest, AddAccumulates) {
+  SparseCube sc(Shape44());
+  ASSERT_TRUE(sc.Add({0, 0}, 2.0).ok());
+  ASSERT_TRUE(sc.Add({0, 0}, 3.0).ok());
+  EXPECT_EQ(sc.Get({0, 0}), 5.0);
+  EXPECT_EQ(sc.num_nonzero(), 1u);
+}
+
+TEST(SparseCubeTest, BoundsChecked) {
+  SparseCube sc(Shape44());
+  EXPECT_TRUE(sc.Add({4, 0}, 1.0).IsOutOfRange());
+  EXPECT_TRUE(sc.Add({0}, 1.0).IsInvalidArgument());
+}
+
+TEST(SparseCubeTest, Density) {
+  SparseCube sc(Shape44());
+  ASSERT_TRUE(sc.Add({0, 0}, 1.0).ok());
+  ASSERT_TRUE(sc.Add({1, 1}, 1.0).ok());
+  EXPECT_DOUBLE_EQ(sc.density(), 2.0 / 16.0);
+}
+
+TEST(SparseCubeTest, DensifyRoundTrip) {
+  SparseCube sc(Shape44());
+  ASSERT_TRUE(sc.Add({3, 3}, 7.0).ok());
+  ASSERT_TRUE(sc.Add({0, 2}, -2.0).ok());
+  auto dense = sc.Densify();
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->At({3, 3}), 7.0);
+  EXPECT_EQ(dense->At({0, 2}), -2.0);
+  EXPECT_EQ(dense->Total(), 5.0);
+
+  auto back = SparseCube::FromDense(Shape44(), *dense);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nonzero(), 2u);
+  EXPECT_EQ(back->Get({3, 3}), 7.0);
+}
+
+TEST(SparseCubeTest, FromDenseWithTolerance) {
+  auto dense = Tensor::Zeros({4, 4});
+  dense->Set({0, 0}, 1e-15);
+  dense->Set({1, 1}, 1.0);
+  auto sparse = SparseCube::FromDense(Shape44(), *dense, 1e-12);
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_EQ(sparse->num_nonzero(), 1u);
+}
+
+TEST(SparseCubeTest, FromDenseShapeMismatch) {
+  auto dense = Tensor::Zeros({2, 2});
+  EXPECT_FALSE(SparseCube::FromDense(Shape44(), *dense).ok());
+}
+
+TEST(SparseCubeTest, IndicesStaySorted) {
+  SparseCube sc(Shape44());
+  ASSERT_TRUE(sc.Add({3, 0}, 1.0).ok());
+  ASSERT_TRUE(sc.Add({0, 1}, 1.0).ok());
+  ASSERT_TRUE(sc.Add({1, 2}, 1.0).ok());
+  const auto& idx = sc.indices();
+  for (size_t i = 1; i < idx.size(); ++i) EXPECT_LT(idx[i - 1], idx[i]);
+}
+
+}  // namespace
+}  // namespace vecube

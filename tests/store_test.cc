@@ -1,0 +1,81 @@
+#include "core/store.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+CubeShape Shape44() {
+  auto s = CubeShape::Make({4, 4});
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(StoreTest, PutAndGet) {
+  ElementStore store(Shape44());
+  auto data = Tensor::Zeros({4, 4});
+  (*data)[0] = 1.0;
+  ASSERT_TRUE(store.Put(ElementId::Root(2), *data).ok());
+  EXPECT_TRUE(store.Contains(ElementId::Root(2)));
+  auto got = store.Get(ElementId::Root(2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((**got)[0], 1.0);
+}
+
+TEST(StoreTest, GetMissingIsNotFound) {
+  ElementStore store(Shape44());
+  EXPECT_TRUE(store.Get(ElementId::Root(2)).status().IsNotFound());
+}
+
+TEST(StoreTest, PutValidatesExtents) {
+  ElementStore store(Shape44());
+  auto wrong = Tensor::Zeros({2, 4});
+  EXPECT_TRUE(
+      store.Put(ElementId::Root(2), *wrong).IsInvalidArgument());
+  // Element (1@0, 0@0) has data extents {2, 4}.
+  auto id = ElementId::Make({{1, 0}, {0, 0}}, Shape44());
+  EXPECT_TRUE(store.Put(*id, *wrong).ok());
+}
+
+TEST(StoreTest, StorageCellsTracksPutsAndErases) {
+  const CubeShape shape = Shape44();
+  ElementStore store(shape);
+  ASSERT_TRUE(store.Put(ElementId::Root(2), *Tensor::Zeros({4, 4})).ok());
+  EXPECT_EQ(store.StorageCells(), 16u);
+  auto id = ElementId::Make({{2, 0}, {2, 0}}, shape);
+  ASSERT_TRUE(store.Put(*id, *Tensor::Zeros({1, 1})).ok());
+  EXPECT_EQ(store.StorageCells(), 17u);
+  EXPECT_DOUBLE_EQ(store.RelativeStorage(), 17.0 / 16.0);
+  ASSERT_TRUE(store.Erase(ElementId::Root(2)).ok());
+  EXPECT_EQ(store.StorageCells(), 1u);
+  EXPECT_TRUE(store.Erase(ElementId::Root(2)).IsNotFound());
+}
+
+TEST(StoreTest, ReplaceDoesNotDoubleCount) {
+  ElementStore store(Shape44());
+  ASSERT_TRUE(store.Put(ElementId::Root(2), *Tensor::Zeros({4, 4})).ok());
+  ASSERT_TRUE(store.Put(ElementId::Root(2), *Tensor::Zeros({4, 4})).ok());
+  EXPECT_EQ(store.StorageCells(), 16u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(StoreTest, IdsSorted) {
+  const CubeShape shape = Shape44();
+  ElementStore store(shape);
+  auto a = ElementId::Make({{1, 1}, {0, 0}}, shape);
+  auto b = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  ASSERT_TRUE(store.Put(*a, *Tensor::Zeros({2, 4})).ok());
+  ASSERT_TRUE(store.Put(*b, *Tensor::Zeros({2, 4})).ok());
+  const auto ids = store.Ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(ids[0] < ids[1]);
+}
+
+TEST(StoreTest, ArityMismatchRejected) {
+  ElementStore store(Shape44());
+  EXPECT_TRUE(store.Put(ElementId::Root(3), *Tensor::Zeros({4, 4, 4}))
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,92 @@
+#include "cube/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cube/cube_builder.h"
+
+namespace vecube {
+namespace {
+
+TEST(SyntheticTest, UniformIntegerCubeInRange) {
+  auto shape = CubeShape::Make({8, 8});
+  Rng rng(1);
+  auto cube = UniformIntegerCube(*shape, &rng, 5, 9);
+  ASSERT_TRUE(cube.ok());
+  for (uint64_t i = 0; i < cube->size(); ++i) {
+    EXPECT_GE((*cube)[i], 5.0);
+    EXPECT_LE((*cube)[i], 9.0);
+    EXPECT_EQ((*cube)[i], std::floor((*cube)[i]));  // integer-valued
+  }
+}
+
+TEST(SyntheticTest, UniformIntegerCubeDeterministic) {
+  auto shape = CubeShape::Make({4, 4});
+  Rng a(7), b(7);
+  auto ca = UniformIntegerCube(*shape, &a);
+  auto cb = UniformIntegerCube(*shape, &b);
+  EXPECT_TRUE(ca->ApproxEquals(*cb, 0.0));
+}
+
+TEST(SyntheticTest, SparseRandomCubeDensity) {
+  auto shape = CubeShape::Make({32, 32});
+  Rng rng(3);
+  auto cube = SparseRandomCube(*shape, &rng, 0.1);
+  ASSERT_TRUE(cube.ok());
+  uint64_t nonzero = 0;
+  for (uint64_t i = 0; i < cube->size(); ++i) {
+    if ((*cube)[i] != 0.0) ++nonzero;
+  }
+  const double density = static_cast<double>(nonzero) / cube->size();
+  EXPECT_NEAR(density, 0.1, 0.03);
+}
+
+TEST(SyntheticTest, SparseRandomCubeValidatesFraction) {
+  auto shape = CubeShape::Make({4});
+  Rng rng(3);
+  EXPECT_FALSE(SparseRandomCube(*shape, &rng, 1.5).ok());
+  EXPECT_FALSE(SparseRandomCube(*shape, &rng, -0.1).ok());
+}
+
+TEST(SyntheticTest, ClusteredCubeHasMass) {
+  auto shape = CubeShape::Make({16, 16});
+  Rng rng(5);
+  auto cube = ClusteredCube(*shape, &rng, 3, 2.0);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_GT(cube->Total(), 0.0);
+}
+
+TEST(SyntheticTest, ClusteredCubeValidatesArgs) {
+  auto shape = CubeShape::Make({4});
+  Rng rng(5);
+  EXPECT_FALSE(ClusteredCube(*shape, &rng, 0, 2.0).ok());
+  EXPECT_FALSE(ClusteredCube(*shape, &rng, 1, 0.0).ok());
+}
+
+TEST(SyntheticTest, SalesRelationBuildsIntoCube) {
+  auto shape = CubeShape::Make({8, 4, 4});
+  Rng rng(11);
+  auto relation = SyntheticSalesRelation(*shape, &rng, 500, 1.0);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 500u);
+  auto built = CubeBuilder::Build(*relation, *shape);
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT(built->cube.Total(), 0.0);
+}
+
+TEST(SyntheticTest, SalesRelationKeysInRange) {
+  auto shape = CubeShape::Make({4, 4});
+  Rng rng(13);
+  auto relation = SyntheticSalesRelation(*shape, &rng, 200, 1.5);
+  ASSERT_TRUE(relation.ok());
+  for (uint64_t row = 0; row < relation->num_rows(); ++row) {
+    for (uint32_t m = 0; m < 2; ++m) {
+      EXPECT_GE(relation->key(m, row), 0);
+      EXPECT_LT(relation->key(m, row), 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vecube

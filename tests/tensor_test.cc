@@ -1,0 +1,85 @@
+#include "cube/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+TEST(TensorTest, ZerosInitializes) {
+  auto t = Tensor::Zeros({2, 3});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 6u);
+  for (uint64_t i = 0; i < t->size(); ++i) EXPECT_EQ((*t)[i], 0.0);
+}
+
+TEST(TensorTest, NonPowerOfTwoExtentsAllowed) {
+  // View element data arrays can have extent 1, 3, etc. along aggregated
+  // dimensions; Tensor does not impose the cube's power-of-two rule.
+  EXPECT_TRUE(Tensor::Zeros({3, 5}).ok());
+  EXPECT_TRUE(Tensor::Zeros({1, 1, 1}).ok());
+}
+
+TEST(TensorTest, ZeroExtentRejected) {
+  EXPECT_FALSE(Tensor::Zeros({2, 0}).ok());
+  EXPECT_FALSE(Tensor::Zeros({}).ok());
+}
+
+TEST(TensorTest, FromDataValidatesSize) {
+  EXPECT_TRUE(Tensor::FromData({2, 2}, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(Tensor::FromData({2, 2}, {1, 2, 3}).ok());
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  auto t = Tensor::FromData({2, 3}, {0, 1, 2, 10, 11, 12});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->At({0, 0}), 0.0);
+  EXPECT_EQ(t->At({0, 2}), 2.0);
+  EXPECT_EQ(t->At({1, 0}), 10.0);
+  EXPECT_EQ(t->At({1, 2}), 12.0);
+}
+
+TEST(TensorTest, SetAndAt) {
+  auto t = Tensor::Zeros({4, 4});
+  t->Set({2, 3}, 7.5);
+  EXPECT_EQ(t->At({2, 3}), 7.5);
+  EXPECT_EQ(t->At({3, 2}), 0.0);
+}
+
+TEST(TensorTest, FlatIndexMatchesStrides) {
+  auto t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t->FlatIndex({0, 0, 0}), 0u);
+  EXPECT_EQ(t->FlatIndex({0, 0, 3}), 3u);
+  EXPECT_EQ(t->FlatIndex({0, 1, 0}), 4u);
+  EXPECT_EQ(t->FlatIndex({1, 0, 0}), 12u);
+  EXPECT_EQ(t->FlatIndex({1, 2, 3}), 23u);
+}
+
+TEST(TensorTest, Total) {
+  auto t = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t->Total(), 10.0);
+}
+
+TEST(TensorTest, ApproxEquals) {
+  auto a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  auto b = Tensor::FromData({2, 2}, {1, 2, 3, 4 + 1e-12});
+  auto c = Tensor::FromData({2, 2}, {1, 2, 3, 5});
+  auto d = Tensor::FromData({4}, {1, 2, 3, 4});
+  EXPECT_TRUE(a->ApproxEquals(*b));
+  EXPECT_FALSE(a->ApproxEquals(*c));
+  EXPECT_FALSE(a->ApproxEquals(*d));  // different shape
+}
+
+TEST(TensorTest, ShapeString) {
+  auto t = Tensor::Zeros({2, 8});
+  EXPECT_EQ(t->ShapeString(), "[2, 8]");
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  auto t = Tensor::FromData({2}, {1, 2});
+  Tensor copy = *t;
+  copy[0] = 99;
+  EXPECT_EQ((*t)[0], 1.0);
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,95 @@
+#include "core/tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace vecube {
+namespace {
+
+CubeShape Shape44() {
+  auto s = CubeShape::Make({4, 4});
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(TrackerTest, EmptyDistribution) {
+  AccessTracker tracker;
+  EXPECT_TRUE(tracker.Distribution().empty());
+  EXPECT_EQ(tracker.total_accesses(), 0u);
+}
+
+TEST(TrackerTest, CountsNormalize) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker;
+  auto a = ElementId::AggregatedView(1, shape);
+  auto b = ElementId::AggregatedView(2, shape);
+  tracker.Record(*a);
+  tracker.Record(*a);
+  tracker.Record(*a);
+  tracker.Record(*b);
+  const auto dist = tracker.Distribution();
+  ASSERT_EQ(dist.size(), 2u);
+  double total = 0.0;
+  for (const auto& [id, f] : dist) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // a < b lexicographically? a aggregates dim 0 -> codes (2@0, 0@0);
+  // b -> (0@0, 2@0). So b sorts first.
+  EXPECT_EQ(dist[0].first, *b);
+  EXPECT_NEAR(dist[1].second, 0.75, 1e-12);
+}
+
+TEST(TrackerTest, DecayFavorsRecentAccesses) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker(0.5);
+  auto a = ElementId::AggregatedView(1, shape);
+  auto b = ElementId::AggregatedView(2, shape);
+  for (int i = 0; i < 10; ++i) tracker.Record(*a);
+  for (int i = 0; i < 10; ++i) tracker.Record(*b);
+  const auto dist = tracker.Distribution();
+  ASSERT_EQ(dist.size(), 2u);
+  // b was accessed last; with decay 0.5 it dominates.
+  double fa = 0, fb = 0;
+  for (const auto& [id, f] : dist) {
+    if (id == *a) fa = f;
+    if (id == *b) fb = f;
+  }
+  EXPECT_GT(fb, 0.9);
+  EXPECT_LT(fa, 0.1);
+}
+
+TEST(TrackerTest, DriftAgainstEmptyReferenceIsOne) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker;
+  tracker.Record(*ElementId::AggregatedView(1, shape));
+  EXPECT_NEAR(tracker.L1Drift({}), 1.0, 1e-12);
+}
+
+TEST(TrackerTest, DriftZeroWhenDistributionsMatch) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker;
+  auto a = ElementId::AggregatedView(1, shape);
+  auto b = ElementId::AggregatedView(2, shape);
+  tracker.Record(*a);
+  tracker.Record(*b);
+  EXPECT_NEAR(tracker.L1Drift({{*a, 0.5}, {*b, 0.5}}), 0.0, 1e-12);
+}
+
+TEST(TrackerTest, DriftTwoForDisjointDistributions) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker;
+  tracker.Record(*ElementId::AggregatedView(1, shape));
+  EXPECT_NEAR(
+      tracker.L1Drift({{*ElementId::AggregatedView(2, shape), 1.0}}), 2.0,
+      1e-12);
+}
+
+TEST(TrackerTest, ResetClears) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker;
+  tracker.Record(*ElementId::AggregatedView(1, shape));
+  tracker.Reset();
+  EXPECT_TRUE(tracker.Distribution().empty());
+  EXPECT_EQ(tracker.total_accesses(), 0u);
+}
+
+}  // namespace
+}  // namespace vecube

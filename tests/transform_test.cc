@@ -1,0 +1,177 @@
+#include "haar/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "cube/shape.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+TEST(TransformTest, PartialSum1D) {
+  auto in = Tensor::FromData({4}, {1, 2, 3, 4});
+  auto p = PartialSum(*in, 0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->extents(), (std::vector<uint32_t>{2}));
+  EXPECT_EQ((*p)[0], 3.0);
+  EXPECT_EQ((*p)[1], 7.0);
+}
+
+TEST(TransformTest, PartialResidual1D) {
+  auto in = Tensor::FromData({4}, {1, 2, 3, 4});
+  auto r = PartialResidual(*in, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], -1.0);
+  EXPECT_EQ((*r)[1], -1.0);
+}
+
+TEST(TransformTest, PartialSumAlongEachDim2D) {
+  auto in = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  auto p0 = PartialSum(*in, 0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0->extents(), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ((*p0)[0], 4.0);  // 1+3
+  EXPECT_EQ((*p0)[1], 6.0);  // 2+4
+  auto p1 = PartialSum(*in, 1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->extents(), (std::vector<uint32_t>{2, 1}));
+  EXPECT_EQ((*p1)[0], 3.0);  // 1+2
+  EXPECT_EQ((*p1)[1], 7.0);  // 3+4
+}
+
+TEST(TransformTest, ResidualSign) {
+  auto in = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  auto r1 = PartialResidual(*in, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)[0], -1.0);  // 1-2
+  EXPECT_EQ((*r1)[1], -1.0);  // 3-4
+}
+
+TEST(TransformTest, OddExtentRejected) {
+  auto in = Tensor::FromData({3}, {1, 2, 3});
+  EXPECT_TRUE(PartialSum(*in, 0).status().IsFailedPrecondition());
+}
+
+TEST(TransformTest, ExtentOneRejected) {
+  auto in = Tensor::FromData({1, 4}, {1, 2, 3, 4});
+  EXPECT_TRUE(PartialSum(*in, 0).status().IsFailedPrecondition());
+  EXPECT_TRUE(PartialSum(*in, 1).ok());
+}
+
+TEST(TransformTest, DimOutOfRangeRejected) {
+  auto in = Tensor::FromData({4}, {1, 2, 3, 4});
+  EXPECT_TRUE(PartialSum(*in, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PartialResidual(*in, 7).status().IsInvalidArgument());
+}
+
+TEST(TransformTest, PartialPairMatchesSeparateCalls) {
+  auto shape = CubeShape::Make({4, 8});
+  Rng rng(2);
+  auto in = UniformIntegerCube(*shape, &rng);
+  for (uint32_t dim : {0u, 1u}) {
+    Tensor p, r;
+    ASSERT_TRUE(PartialPair(*in, dim, &p, &r).ok());
+    auto p2 = PartialSum(*in, dim);
+    auto r2 = PartialResidual(*in, dim);
+    EXPECT_TRUE(p.ApproxEquals(*p2, 0.0));
+    EXPECT_TRUE(r.ApproxEquals(*r2, 0.0));
+  }
+}
+
+TEST(TransformTest, PartialPairNullOutputsRejected) {
+  auto in = Tensor::FromData({4}, {1, 2, 3, 4});
+  Tensor p;
+  EXPECT_TRUE(PartialPair(*in, 0, &p, nullptr).IsInvalidArgument());
+}
+
+TEST(TransformTest, SynthesizeInverts1D) {
+  auto in = Tensor::FromData({8}, {5, 1, 4, 4, 0, -2, 7, 3});
+  auto p = PartialSum(*in, 0);
+  auto r = PartialResidual(*in, 0);
+  auto back = SynthesizePair(*p, *r, 0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(*in, 0.0));  // exact for integers
+}
+
+TEST(TransformTest, SynthesizeShapeMismatchRejected) {
+  auto p = Tensor::Zeros({2});
+  auto q = Tensor::Zeros({4});
+  EXPECT_TRUE(SynthesizePair(*p, *q, 0).status().IsInvalidArgument());
+}
+
+TEST(TransformTest, OpCountsMatchOutputVolumes) {
+  auto shape = CubeShape::Make({8, 4});
+  Rng rng(9);
+  auto in = UniformIntegerCube(*shape, &rng);
+  OpCounter ops;
+  auto p = PartialSum(*in, 0, &ops);
+  EXPECT_EQ(ops.adds, 16u);  // 4*4 outputs
+  auto r = PartialResidual(*in, 0, &ops);
+  EXPECT_EQ(ops.adds, 32u);
+  auto back = SynthesizePair(*p, *r, 0, &ops);
+  EXPECT_EQ(ops.adds, 32u + 32u);  // synthesis writes 32 cells
+  ops.Reset();
+  EXPECT_EQ(ops.adds, 0u);
+}
+
+TEST(TransformTest, NonExpansiveness) {
+  // Property 3: Vol(P) + Vol(R) == Vol(A).
+  auto shape = CubeShape::Make({8, 4, 2});
+  Rng rng(4);
+  auto in = UniformIntegerCube(*shape, &rng);
+  for (uint32_t dim = 0; dim < 3; ++dim) {
+    auto p = PartialSum(*in, dim);
+    auto r = PartialResidual(*in, dim);
+    ASSERT_TRUE(p.ok() && r.ok());
+    EXPECT_EQ(p->size() + r->size(), in->size());
+  }
+}
+
+TEST(TransformTest, PartialSumPreservesTotal) {
+  auto shape = CubeShape::Make({8, 8});
+  Rng rng(6);
+  auto in = UniformIntegerCube(*shape, &rng);
+  auto p = PartialSum(*in, 1);
+  EXPECT_DOUBLE_EQ(p->Total(), in->Total());
+}
+
+TEST(TransformTest, ResidualOfConstantIsZero) {
+  auto in = Tensor::FromData({4, 2}, {3, 3, 3, 3, 3, 3, 3, 3});
+  auto r = PartialResidual(*in, 0);
+  for (uint64_t i = 0; i < r->size(); ++i) EXPECT_EQ((*r)[i], 0.0);
+}
+
+// Property-style sweep: perfect reconstruction along every dimension of
+// several cube shapes with random integer data.
+class ReconstructionSweep
+    : public ::testing::TestWithParam<std::vector<uint32_t>> {};
+
+TEST_P(ReconstructionSweep, PerfectReconstructionEveryDim) {
+  auto shape = CubeShape::Make(GetParam());
+  ASSERT_TRUE(shape.ok());
+  Rng rng(21);
+  auto in = UniformIntegerCube(*shape, &rng, -50, 50);
+  for (uint32_t dim = 0; dim < shape->ndim(); ++dim) {
+    if (shape->extent(dim) < 2) continue;
+    Tensor p, r;
+    ASSERT_TRUE(PartialPair(*in, dim, &p, &r).ok());
+    auto back = SynthesizePair(p, r, dim);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->ApproxEquals(*in, 0.0))
+        << "dim " << dim << " shape " << in->ShapeString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReconstructionSweep,
+    ::testing::Values(std::vector<uint32_t>{2}, std::vector<uint32_t>{64},
+                      std::vector<uint32_t>{2, 2},
+                      std::vector<uint32_t>{16, 8},
+                      std::vector<uint32_t>{4, 4, 4},
+                      std::vector<uint32_t>{2, 8, 4},
+                      std::vector<uint32_t>{1, 8},
+                      std::vector<uint32_t>{2, 2, 2, 2, 2}));
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,166 @@
+#include "core/update.h"
+
+#include <gtest/gtest.h>
+
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/graph.h"
+#include "cube/synthetic.h"
+#include "util/rng.h"
+
+namespace vecube {
+namespace {
+
+CubeShape Shape(std::vector<uint32_t> extents) {
+  auto s = CubeShape::Make(std::move(extents));
+  EXPECT_TRUE(s.ok());
+  return *s;
+}
+
+TEST(ProjectPointTest, RootIsIdentity) {
+  const CubeShape shape = Shape({4, 4});
+  auto p = ProjectPoint(ElementId::Root(2), {2, 3}, shape);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->flat_index, shape.FlatIndex({2, 3}));
+  EXPECT_EQ(p->sign, +1);
+}
+
+TEST(ProjectPointTest, PartialChainAlwaysPositive) {
+  const CubeShape shape = Shape({8});
+  auto p2 = ElementId::Intermediate({2}, shape);
+  for (uint32_t x = 0; x < 8; ++x) {
+    auto p = ProjectPoint(*p2, {x}, shape);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->flat_index, x / 4u);
+    EXPECT_EQ(p->sign, +1);
+  }
+}
+
+TEST(ProjectPointTest, FirstResidualSignFollowsLsb) {
+  // R1 takes even - odd: coordinate LSB 1 contributes with sign -1.
+  const CubeShape shape = Shape({8});
+  auto r = ElementId::Root(1).Child(0, StepKind::kResidual, shape);
+  for (uint32_t x = 0; x < 8; ++x) {
+    auto p = ProjectPoint(*r, {x}, shape);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->flat_index, x / 2u);
+    EXPECT_EQ(p->sign, (x % 2 == 0) ? +1 : -1) << "x=" << x;
+  }
+}
+
+TEST(ProjectPointTest, MatchesRecomputationForEveryElementAndCell) {
+  // Ground truth: recompute the element from a delta-impulse cube and
+  // compare the single non-zero coefficient.
+  const CubeShape shape = Shape({4, 4});
+  ViewElementGraph graph(shape);
+  for (uint32_t x = 0; x < 4; ++x) {
+    for (uint32_t y = 0; y < 4; ++y) {
+      auto impulse = Tensor::Zeros({4, 4});
+      impulse->Set({x, y}, 1.0);
+      ElementComputer computer(shape, &*impulse);
+      graph.ForEachElement([&](const ElementId& id) {
+        auto data = computer.Compute(id);
+        ASSERT_TRUE(data.ok());
+        auto projection = ProjectPoint(id, {x, y}, shape);
+        ASSERT_TRUE(projection.ok());
+        for (uint64_t i = 0; i < data->size(); ++i) {
+          const double expected =
+              (i == projection->flat_index) ? projection->sign : 0.0;
+          ASSERT_DOUBLE_EQ((*data)[i], expected)
+              << id.ToString() << " cell " << i << " impulse (" << x << ","
+              << y << ")";
+        }
+      });
+    }
+  }
+}
+
+TEST(ProjectPointTest, Validation) {
+  const CubeShape shape = Shape({4, 4});
+  EXPECT_FALSE(ProjectPoint(ElementId::Root(2), {5, 0}, shape).ok());
+  EXPECT_FALSE(ProjectPoint(ElementId::Root(3), {0, 0}, shape).ok());
+  EXPECT_FALSE(ProjectPoint(ElementId::Root(2), {0}, shape).ok());
+}
+
+TEST(ApplyPointDeltaTest, StoreStaysConsistentWithRecomputation) {
+  const CubeShape shape = Shape({8, 4});
+  Rng rng(1);
+  auto cube = UniformIntegerCube(shape, &rng, 0, 9);
+  ElementComputer computer(shape, &*cube);
+  auto store = computer.Materialize(WaveletBasisSet(shape));
+  ASSERT_TRUE(store.ok());
+
+  // Apply a handful of random point updates to both cube and store.
+  for (int i = 0; i < 20; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.UniformU64(8));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformU64(4));
+    const double delta =
+        static_cast<double>(rng.UniformU64(21)) - 10.0;
+    (*cube)[shape.FlatIndex({x, y})] += delta;
+    ASSERT_TRUE(ApplyPointDelta(&*store, {x, y}, delta).ok());
+  }
+
+  // Every stored element must equal a fresh recomputation.
+  ElementComputer fresh(shape, &*cube);
+  for (const ElementId& id : store->Ids()) {
+    auto expected = fresh.Compute(id);
+    auto got = store->Get(id);
+    ASSERT_TRUE(expected.ok() && got.ok());
+    EXPECT_TRUE((*got)->ApproxEquals(*expected, 1e-9)) << id.ToString();
+  }
+}
+
+TEST(ApplyPointDeltaTest, WorksAcrossMixedStores) {
+  const CubeShape shape = Shape({4, 4, 4});
+  Rng rng(2);
+  auto cube = UniformIntegerCube(shape, &rng, 0, 5);
+  ElementComputer computer(shape, &*cube);
+  // A store mixing the cube, views, and a pyramid level.
+  std::vector<ElementId> set = ViewHierarchySet(shape);
+  set.push_back(*ElementId::Intermediate({1, 1, 1}, shape));
+  auto store = computer.Materialize(set);
+  ASSERT_TRUE(store.ok());
+
+  (*cube)[shape.FlatIndex({1, 2, 3})] += 7.5;
+  ASSERT_TRUE(ApplyPointDelta(&*store, {1, 2, 3}, 7.5).ok());
+
+  ElementComputer fresh(shape, &*cube);
+  for (const ElementId& id : store->Ids()) {
+    auto expected = fresh.Compute(id);
+    auto got = store->Get(id);
+    EXPECT_TRUE((*got)->ApproxEquals(*expected, 1e-9)) << id.ToString();
+  }
+}
+
+TEST(ApplyDeltasTest, BatchEqualsSequential) {
+  const CubeShape shape = Shape({8, 8});
+  Rng rng(3);
+  auto cube = UniformIntegerCube(shape, &rng, 0, 9);
+  ElementComputer computer(shape, &*cube);
+  auto a = computer.Materialize(GaussianPyramidSet(shape));
+  auto b = computer.Materialize(GaussianPyramidSet(shape));
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  std::vector<CellDelta> deltas = {
+      {{0, 0}, 1.0}, {{7, 7}, -2.0}, {{3, 4}, 0.5}, {{0, 0}, 2.0}};
+  ASSERT_TRUE(ApplyDeltas(&*a, deltas).ok());
+  for (const CellDelta& d : deltas) {
+    ASSERT_TRUE(ApplyPointDelta(&*b, d.coords, d.delta).ok());
+  }
+  for (const ElementId& id : a->Ids()) {
+    EXPECT_TRUE((*a->Get(id))->ApproxEquals(**b->Get(id), 0.0));
+  }
+}
+
+TEST(ApplyPointDeltaTest, OutOfRangeRejectedAtomically) {
+  const CubeShape shape = Shape({4});
+  auto cube = Tensor::Zeros({4});
+  ElementComputer computer(shape, &*cube);
+  auto store = computer.Materialize(CubeOnlySet(shape));
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(ApplyPointDelta(&*store, {9}, 1.0).ok());
+  EXPECT_FALSE(ApplyPointDelta(nullptr, {0}, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace vecube

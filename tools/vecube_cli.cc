@@ -1,0 +1,281 @@
+// vecube_cli: command-line front end for the vecube library.
+//
+//   vecube_cli build    --csv FILE --extents N0,N1,... --out STORE
+//                       [--dict] [--pad]
+//       Build a SUM data cube from a CSV fact table (last column is the
+//       measure, the rest are dimension keys) and persist it as a store
+//       holding the root cube.
+//
+//   vecube_cli optimize --store STORE --out STORE2
+//                       --workload MASK:FREQ[,MASK:FREQ...]
+//                       [--budget CELLS]
+//       Select the minimum-cost view element set for the workload
+//       (Algorithm 1, plus greedy redundancy up to --budget) and persist
+//       the rematerialized store.
+//
+//   vecube_cli query    --store STORE --mask MASK
+//       Assemble the aggregated view (bit m of MASK set = dimension m
+//       aggregated away) and print its cells.
+//
+//   vecube_cli range    --store STORE --start A,B,... --width W0,W1,...
+//       Range-aggregation over the store.
+//
+//   vecube_cli info     --store STORE
+//       Shape, element inventory, and storage statistics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/io.h"
+#include "cube/csv.h"
+#include "cube/cube_builder.h"
+#include "range/range_engine.h"
+#include "select/algorithm1.h"
+#include "select/algorithm2.h"
+#include "workload/population.h"
+
+namespace {
+
+using vecube::Status;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vecube_cli build|optimize|query|range|info ...\n"
+               "see the header of tools/vecube_cli.cc for details\n");
+  return 2;
+}
+
+// --flag value parser; flags are unique.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+vecube::Result<std::vector<uint32_t>> ParseU32List(const std::string& text) {
+  std::vector<uint32_t> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("'" + token + "' is not an integer");
+    }
+    out.push_back(static_cast<uint32_t>(value));
+    pos = comma + 1;
+  }
+  if (out.empty()) return Status::InvalidArgument("empty list");
+  return out;
+}
+
+int CmdBuild(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("csv") || !flags.count("extents") || !flags.count("out")) {
+    return Usage();
+  }
+  auto extents = ParseU32List(flags.at("extents"));
+  if (!extents.ok()) return Fail(extents.status());
+
+  auto shape = flags.count("pad") ? vecube::CubeShape::MakePadded(*extents)
+                                  : vecube::CubeShape::Make(*extents);
+  if (!shape.ok()) return Fail(shape.status());
+
+  auto relation = vecube::LoadRelationCsv(
+      flags.at("csv"), static_cast<uint32_t>(extents->size()), 1);
+  if (!relation.ok()) return Fail(relation.status());
+
+  vecube::CubeBuildOptions build_options;
+  if (flags.count("dict")) {
+    build_options.mapping = vecube::KeyMapping::kDictionary;
+  }
+  auto built = vecube::CubeBuilder::Build(*relation, *shape, build_options);
+  if (!built.ok()) return Fail(built.status());
+
+  vecube::ElementStore store(*shape);
+  Status st = store.Put(vecube::ElementId::Root(shape->ndim()),
+                        std::move(built->cube));
+  if (!st.ok()) return Fail(st);
+  st = vecube::SaveStore(store, flags.at("out"));
+  if (!st.ok()) return Fail(st);
+  std::printf("built %s cube from %llu rows -> %s\n",
+              shape->ToString().c_str(),
+              static_cast<unsigned long long>(relation->num_rows()),
+              flags.at("out").c_str());
+  return 0;
+}
+
+vecube::Result<vecube::QueryPopulation> ParseWorkload(
+    const std::string& text, const vecube::CubeShape& shape) {
+  std::vector<vecube::QuerySpec> queries;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("workload entry '" + token +
+                                     "' is not MASK:FREQ");
+    }
+    const uint32_t mask =
+        static_cast<uint32_t>(std::strtoul(token.substr(0, colon).c_str(),
+                                           nullptr, 0));
+    const double freq = std::strtod(token.substr(colon + 1).c_str(), nullptr);
+    vecube::ElementId view;
+    VECUBE_ASSIGN_OR_RETURN(view,
+                            vecube::ElementId::AggregatedView(mask, shape));
+    queries.push_back(vecube::QuerySpec{view, freq});
+    pos = comma + 1;
+  }
+  return vecube::QueryPopulation::Make(std::move(queries), shape);
+}
+
+int CmdOptimize(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("store") || !flags.count("out") ||
+      !flags.count("workload")) {
+    return Usage();
+  }
+  auto store = vecube::LoadStore(flags.at("store"));
+  if (!store.ok()) return Fail(store.status());
+  auto population = ParseWorkload(flags.at("workload"), store->shape());
+  if (!population.ok()) return Fail(population.status());
+
+  auto selection = vecube::SelectMinCostBasis(store->shape(), *population);
+  if (!selection.ok()) return Fail(selection.status());
+  std::vector<vecube::ElementId> target = selection->basis;
+
+  if (flags.count("budget")) {
+    vecube::GreedyOptions greedy;
+    greedy.storage_target_cells =
+        std::strtoull(flags.at("budget").c_str(), nullptr, 10);
+    greedy.pool = vecube::CandidatePool::kAggregatedViews;
+    auto frontier = vecube::GreedySelect(store->shape(), *population,
+                                         target, greedy);
+    if (!frontier.ok()) return Fail(frontier.status());
+    target = frontier->back().selected;
+  }
+
+  // Rematerialize from the loaded store (assembles the root if needed).
+  vecube::AssemblyEngine engine(&*store);
+  vecube::ElementStore next(store->shape());
+  for (const vecube::ElementId& id : target) {
+    auto data = engine.Assemble(id);
+    if (!data.ok()) return Fail(data.status());
+    Status st = next.Put(id, std::move(data).value());
+    if (!st.ok()) return Fail(st);
+  }
+  Status st = vecube::SaveStore(next, flags.at("out"));
+  if (!st.ok()) return Fail(st);
+  std::printf("selected %zu elements (predicted cost %.2f ops/query, "
+              "storage %llu cells) -> %s\n",
+              target.size(), selection->predicted_cost,
+              static_cast<unsigned long long>(next.StorageCells()),
+              flags.at("out").c_str());
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("store") || !flags.count("mask")) return Usage();
+  auto store = vecube::LoadStore(flags.at("store"));
+  if (!store.ok()) return Fail(store.status());
+  const uint32_t mask = static_cast<uint32_t>(
+      std::strtoul(flags.at("mask").c_str(), nullptr, 0));
+  vecube::AssemblyEngine engine(&*store);
+  vecube::OpCounter ops;
+  auto view = engine.AssembleView(mask, &ops);
+  if (!view.ok()) return Fail(view.status());
+  std::printf("view mask=%u shape=%s ops=%llu\n", mask,
+              view->ShapeString().c_str(),
+              static_cast<unsigned long long>(ops.adds));
+  for (uint64_t i = 0; i < view->size(); ++i) {
+    std::printf("%s%g", i == 0 ? "" : " ", (*view)[i]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdRange(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("store") || !flags.count("start") ||
+      !flags.count("width")) {
+    return Usage();
+  }
+  auto store = vecube::LoadStore(flags.at("store"));
+  if (!store.ok()) return Fail(store.status());
+  auto start = ParseU32List(flags.at("start"));
+  auto width = ParseU32List(flags.at("width"));
+  if (!start.ok()) return Fail(start.status());
+  if (!width.ok()) return Fail(width.status());
+  auto range = vecube::RangeSpec::Make(*start, *width, store->shape());
+  if (!range.ok()) return Fail(range.status());
+  vecube::RangeEngine engine(&*store);
+  vecube::RangeQueryStats stats;
+  auto sum = engine.RangeSum(*range, &stats);
+  if (!sum.ok()) return Fail(sum.status());
+  std::printf("range %s sum=%g cell_reads=%llu assembly_ops=%llu\n",
+              range->ToString().c_str(), *sum,
+              static_cast<unsigned long long>(stats.cell_reads),
+              static_cast<unsigned long long>(stats.assembly_ops));
+  return 0;
+}
+
+int CmdInfo(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("store")) return Usage();
+  auto store = vecube::LoadStore(flags.at("store"));
+  if (!store.ok()) return Fail(store.status());
+  std::printf("shape %s, %zu elements, %llu cells (%.3fx cube volume)\n",
+              store->shape().ToString().c_str(), store->size(),
+              static_cast<unsigned long long>(store->StorageCells()),
+              store->RelativeStorage());
+  for (const vecube::ElementId& id : store->Ids()) {
+    const char* kind = id.IsAggregatedView(store->shape()) ? "view"
+                       : id.IsIntermediate()               ? "intermediate"
+                                                           : "residual";
+    std::printf("  %-24s %-12s vol=%llu\n", id.ToString().c_str(), kind,
+                static_cast<unsigned long long>(
+                    id.DataVolume(store->shape())));
+  }
+  const bool complete = vecube::IsComplete(store->Ids(), store->shape());
+  std::printf("complete basis: %s; non-redundant: %s\n",
+              complete ? "yes" : "no",
+              vecube::IsNonRedundant(store->Ids(), store->shape()) ? "yes"
+                                                                   : "no");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "optimize") return CmdOptimize(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "range") return CmdRange(flags);
+  if (command == "info") return CmdInfo(flags);
+  return Usage();
+}
