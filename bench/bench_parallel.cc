@@ -1,0 +1,180 @@
+// Parallel batch-assembly benchmark: times AssembleBatch over all 2^d
+// aggregated views of a d-dimensional cube at several thread counts and
+// verifies the determinism invariant along the way — measured OpCounter
+// totals must be identical at every thread count (threading changes wall
+// time, never the operation count the paper's cost model predicts).
+//
+// Default configuration is the 2^24-cell cube (extent 64, 4 dims) with
+// the cube-only store (the paper's [D] strategy) — batch assembly then
+// aggregates every marginal from the base cube, the memory-friendly way
+// to exercise the threaded kernels at this scale. Emits
+// BENCH_parallel.json in the working directory so the perf trajectory
+// can accumulate across revisions.
+//
+// Usage: bench_parallel [extent] [ndim] [threads]
+//   extent   per-dimension domain size (default 64)
+//   ndim     number of dimensions      (default 4)
+//   threads  parallel thread count     (default: hardware concurrency)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/shape.h"
+#include "cube/synthetic.h"
+#include "haar/transform.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct RunResult {
+  uint32_t threads = 1;
+  double best_ms = 0.0;
+  uint64_t ops = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t extent = argc > 1 ? std::atoi(argv[1]) : 64;
+  const uint32_t ndim = argc > 2 ? std::atoi(argv[2]) : 4;
+  const uint32_t parallel_threads =
+      argc > 3 ? std::atoi(argv[3]) : vecube::ThreadPool::DefaultThreadCount();
+  constexpr int kReps = 3;
+
+  auto shape_result = vecube::CubeShape::MakeSquare(ndim, extent);
+  if (!shape_result.ok()) {
+    std::fprintf(stderr, "bad shape: %s\n",
+                 shape_result.status().ToString().c_str());
+    return 1;
+  }
+  const vecube::CubeShape shape = *shape_result;
+  std::printf("parallel batch assembly: %u^%u cube (%llu cells), cube-only "
+              "store\n",
+              extent, ndim, static_cast<unsigned long long>(shape.volume()));
+
+  vecube::Rng rng(24);
+  auto cube = vecube::UniformIntegerCube(shape, &rng, -9, 9);
+  if (!cube.ok()) return 1;
+  vecube::ElementComputer computer(shape, &*cube);
+  auto store = computer.Materialize(vecube::CubeOnlySet(shape));
+  if (!store.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  // All 2^d aggregated views: the canonical "answer every marginal" batch.
+  std::vector<vecube::ElementId> targets;
+  for (uint32_t mask = 0; mask < (1u << ndim); ++mask) {
+    auto view = vecube::ElementId::AggregatedView(mask, shape);
+    if (!view.ok()) return 1;
+    targets.push_back(*view);
+  }
+
+  vecube::AssemblyEngine planner(&*store);
+  uint64_t sum_plan_cost = 0;
+  for (const vecube::ElementId& target : targets) {
+    const uint64_t plan = planner.PlanCost(target);
+    if (plan == vecube::kInfiniteCost) {
+      std::fprintf(stderr, "unassemblable target\n");
+      return 1;
+    }
+    sum_plan_cost += plan;
+  }
+
+  std::vector<uint32_t> thread_counts = {1};
+  if (parallel_threads > 1) thread_counts.push_back(parallel_threads);
+
+  std::vector<RunResult> results;
+  for (uint32_t threads : thread_counts) {
+    std::unique_ptr<vecube::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<vecube::ThreadPool>(threads);
+    vecube::AssemblyEngine engine(&*store, pool.get());
+
+    RunResult run;
+    run.threads = threads;
+    run.best_ms = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      vecube::OpCounter ops;
+      const auto start = std::chrono::steady_clock::now();
+      auto batch = engine.AssembleBatch(targets, &ops);
+      const double ms = MillisSince(start);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "assembly failed: %s\n",
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      if (ms < run.best_ms) run.best_ms = ms;
+      if (rep == 0) {
+        run.ops = ops.adds;
+      } else if (ops.adds != run.ops) {
+        std::fprintf(stderr, "FAIL: op count drifted across reps\n");
+        return 1;
+      }
+    }
+    results.push_back(run);
+    std::printf("  threads=%-3u best of %d: %10.2f ms   ops=%llu\n", threads,
+                kReps, run.best_ms, static_cast<unsigned long long>(run.ops));
+  }
+
+  // Determinism invariant: identical measured ops at every thread count,
+  // and batch sharing never exceeds the sum of individual plan costs.
+  for (const RunResult& run : results) {
+    if (run.ops != results.front().ops) {
+      std::fprintf(stderr, "FAIL: ops differ across thread counts\n");
+      return 1;
+    }
+  }
+  if (results.front().ops > sum_plan_cost) {
+    std::fprintf(stderr, "FAIL: batch ops exceed summed plan costs\n");
+    return 1;
+  }
+  const double speedup =
+      results.size() > 1 ? results.front().best_ms / results.back().best_ms
+                         : 1.0;
+  std::printf("  batch ops %llu <= sum of plan costs %llu; speedup %.2fx\n",
+              static_cast<unsigned long long>(results.front().ops),
+              static_cast<unsigned long long>(sum_plan_cost), speedup);
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"parallel_batch_assembly\",\n");
+  std::fprintf(json, "  \"extent\": %u,\n  \"ndim\": %u,\n", extent, ndim);
+  std::fprintf(json, "  \"cells\": %llu,\n",
+               static_cast<unsigned long long>(shape.volume()));
+  std::fprintf(json, "  \"targets\": %zu,\n", targets.size());
+  std::fprintf(json, "  \"sum_plan_cost\": %llu,\n",
+               static_cast<unsigned long long>(sum_plan_cost));
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"threads\": %u, \"best_ms\": %.3f, \"ops\": %llu}%s\n",
+                 results[i].threads, results[i].best_ms,
+                 static_cast<unsigned long long>(results[i].ops),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"speedup\": %.3f\n", speedup);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("  wrote BENCH_parallel.json\n");
+  return 0;
+}

@@ -14,7 +14,12 @@ OlapSession::OlapSession(CubeShape shape, Tensor cube, Options options)
       cube_(std::move(cube)),
       options_(options),
       store_(shape_),
-      tracker_(options.access_decay) {}
+      tracker_(options.access_decay) {
+  const uint32_t threads = options.num_threads == 0
+                               ? ThreadPool::DefaultThreadCount()
+                               : options.num_threads;
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
 
 Result<std::unique_ptr<OlapSession>> OlapSession::FromCube(
     const CubeShape& shape, Tensor cube, Options options) {
@@ -69,11 +74,12 @@ Result<std::unique_ptr<OlapSession>> OlapSession::FromRelation(
 }
 
 void OlapSession::RebuildEngines() {
-  engine_ = std::make_unique<AssemblyEngine>(&store_);
+  engine_ = std::make_unique<AssemblyEngine>(&store_, pool_.get());
   range_engine_ = std::make_unique<RangeEngine>(
-      &store_, MissingElementPolicy::kAssemble);
+      &store_, MissingElementPolicy::kAssemble, pool_.get());
   if (count_store_.has_value()) {
-    count_engine_ = std::make_unique<AssemblyEngine>(&*count_store_);
+    count_engine_ =
+        std::make_unique<AssemblyEngine>(&*count_store_, pool_.get());
   }
 }
 

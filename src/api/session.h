@@ -29,6 +29,7 @@
 #include "cube/tensor.h"
 #include "range/range_engine.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "workload/population.h"
 
 namespace vecube {
@@ -54,6 +55,11 @@ struct OlapSessionOptions {
   double access_decay = 0.98;
   /// Maintain a parallel COUNT cube/store so AvgByMask() is available.
   bool maintain_count_cube = false;
+  /// Execution lanes for assembly (Haar kernels chunk their row loops,
+  /// batch assembly fans out across targets). 0 = hardware concurrency;
+  /// 1 = fully serial, bit- and count-identical to the single-threaded
+  /// engine (any thread count is, but 1 spawns no workers at all).
+  uint32_t num_threads = 0;
 };
 
 class OlapSession {
@@ -111,6 +117,7 @@ class OlapSession {
   CubeShape shape_;
   Tensor cube_;
   Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when running serial
   ElementStore store_;
   std::optional<Tensor> count_cube_;
   std::optional<ElementStore> count_store_;

@@ -2,20 +2,42 @@
 
 #include <algorithm>
 #include <array>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
 
 #include "util/logging.h"
 
 namespace vecube {
 
 namespace {
-constexpr uint32_t kMaxDims = 16;
 // Flat memo arrays up to this many graph nodes (~0.5 GiB of memo state);
 // larger graphs fall back to hash maps over the touched nodes.
 constexpr uint64_t kDenseMemoLimit = uint64_t{1} << 24;
+
+Status TooManyDims() {
+  return Status::InvalidArgument(
+      "at most 16 dimensions supported for assembly planning");
+}
 }  // namespace
 
-AssemblyEngine::AssemblyEngine(const ElementStore* store)
-    : store_(store), shape_(store->shape()), indexer_(shape_) {
+// Latched cross-target sub-result cache (see header). Entries are owned by
+// shared_ptr so the map can grow while other threads hold their entry.
+struct AssemblyEngine::BatchCache {
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    Status status;  // non-OK when the owning computation failed
+    Tensor tensor;
+  };
+  std::mutex mu;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> map;
+};
+
+AssemblyEngine::AssemblyEngine(const ElementStore* store, ThreadPool* pool)
+    : store_(store), pool_(pool), shape_(store->shape()), indexer_(shape_) {
   VECUBE_CHECK(store != nullptr);
   dense_memos_ = indexer_.size() <= kDenseMemoLimit;
   Invalidate();
@@ -136,24 +158,38 @@ AssemblyEngine::PlanNode AssemblyEngine::PlanRaw(DimCode* codes) {
   return plan_memo_.Insert(index, node);
 }
 
+void AssemblyEngine::WarmPlanRaw(DimCode* codes,
+                                 std::unordered_set<uint64_t>* visited) {
+  const uint64_t index = EncodeRaw(codes);
+  if (!visited->insert(index).second) return;
+  const PlanNode node = PlanRaw(codes);
+  if (node.choice != Choice::kSynthesize) return;
+  // Execution will recurse into exactly these two children. (The cheap
+  // first pass of PlanRaw can choose kSynthesize without ever having
+  // planned the children, so warming must descend explicitly.)
+  const uint32_t m = node.split_dim;
+  const DimCode saved = codes[m];
+  codes[m] = DimCode{saved.level + 1, saved.offset * 2};
+  WarmPlanRaw(codes, visited);
+  codes[m] = DimCode{saved.level + 1, saved.offset * 2 + 1};
+  WarmPlanRaw(codes, visited);
+  codes[m] = saved;
+}
+
 uint64_t AssemblyEngine::PlanCost(const ElementId& target) {
+  // Guard the fixed-arity code buffers below: a shape beyond kMaxAssemblyDims
+  // must not reach the std::array copy (stack overflow otherwise).
+  if (shape_.ndim() > kMaxAssemblyDims) return kInfiniteCost;
   if (target.ndim() != shape_.ndim()) return kInfiniteCost;
-  std::array<DimCode, kMaxDims> codes{};
+  std::array<DimCode, kMaxAssemblyDims> codes{};
   std::copy(target.codes().begin(), target.codes().end(), codes.begin());
   return PlanRaw(codes.data()).cost;
 }
 
-Result<Tensor> AssemblyEngine::Execute(
-    const ElementId& target, OpCounter* ops,
-    std::unordered_map<uint64_t, Tensor>* shared) {
-  std::array<DimCode, kMaxDims> codes{};
+Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
+                                           OpCounter* ops) {
+  std::array<DimCode, kMaxAssemblyDims> codes{};
   std::copy(target.codes().begin(), target.codes().end(), codes.begin());
-  const uint64_t target_index = EncodeRaw(codes.data());
-  if (shared != nullptr) {
-    if (auto it = shared->find(target_index); it != shared->end()) {
-      return it->second;
-    }
-  }
   const PlanNode node = PlanRaw(codes.data());  // copy: map may rehash below
   switch (node.choice) {
     case Choice::kAggregate: {
@@ -171,14 +207,14 @@ Result<Tensor> AssemblyEngine::Execute(
           const bool residual = ((to.offset >> bit) & 1u) != 0;
           Tensor next;
           if (residual) {
-            VECUBE_ASSIGN_OR_RETURN(next, PartialResidual(current, m, ops));
+            VECUBE_ASSIGN_OR_RETURN(next,
+                                    PartialResidual(current, m, ops, pool_));
           } else {
-            VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, m, ops));
+            VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, m, ops, pool_));
           }
           current = std::move(next);
         }
       }
-      if (shared != nullptr) shared->emplace(target_index, current);
       return current;
     }
     case Choice::kSynthesize: {
@@ -188,12 +224,11 @@ Result<Tensor> AssemblyEngine::Execute(
       VECUBE_ASSIGN_OR_RETURN(
           r_id, target.Child(node.split_dim, StepKind::kResidual, shape_));
       Tensor p, r;
-      VECUBE_ASSIGN_OR_RETURN(p, Execute(p_id, ops, shared));
-      VECUBE_ASSIGN_OR_RETURN(r, Execute(r_id, ops, shared));
+      VECUBE_ASSIGN_OR_RETURN(p, ExecuteSolo(p_id, ops));
+      VECUBE_ASSIGN_OR_RETURN(r, ExecuteSolo(r_id, ops));
       Tensor out;
-      VECUBE_ASSIGN_OR_RETURN(out,
-                              SynthesizePair(p, r, node.split_dim, ops));
-      if (shared != nullptr) shared->emplace(target_index, out);
+      VECUBE_ASSIGN_OR_RETURN(
+          out, SynthesizePair(p, r, node.split_dim, ops, pool_));
       return out;
     }
     case Choice::kNone:
@@ -203,32 +238,157 @@ Result<Tensor> AssemblyEngine::Execute(
                             target.ToString());
 }
 
+Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
+                                             BatchCache* cache,
+                                             std::atomic<uint64_t>* adds) {
+  std::array<DimCode, kMaxAssemblyDims> codes{};
+  std::copy(target.codes().begin(), target.codes().end(), codes.begin());
+  const uint64_t target_index = EncodeRaw(codes.data());
+
+  std::shared_ptr<BatchCache::Entry> entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(cache->mu);
+    auto [it, inserted] = cache->map.try_emplace(target_index, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<BatchCache::Entry>();
+      owner = true;
+    }
+    entry = it->second;
+  }
+  if (!owner) {
+    // Another thread owns this node. Waits follow child edges of the plan
+    // DAG only, and owners are always running threads, so this terminates.
+    std::unique_lock<std::mutex> lock(entry->mu);
+    entry->cv.wait(lock, [&entry] { return entry->ready; });
+    if (!entry->status.ok()) return entry->status;
+    return entry->tensor;
+  }
+
+  // This node's kernel work lands in a local counter and is published
+  // once, keeping the batch total an order-independent sum of per-node
+  // costs — identical at every thread count.
+  OpCounter local;
+  Result<Tensor> result = [&]() -> Result<Tensor> {
+    // Plans were warmed serially by AssembleBatch; this is a memo read.
+    const PlanNode node = PlanRaw(codes.data());
+    switch (node.choice) {
+      case Choice::kAggregate: {
+        const ElementId source = indexer_.Decode(node.source);
+        const Tensor* data;
+        VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
+        if (source == target) return *data;
+        Tensor current = *data;
+        for (uint32_t m = 0; m < target.ndim(); ++m) {
+          const DimCode& from = source.dim(m);
+          const DimCode& to = target.dim(m);
+          for (uint32_t bit = to.level - from.level; bit-- > 0;) {
+            const bool residual = ((to.offset >> bit) & 1u) != 0;
+            Tensor next;
+            if (residual) {
+              VECUBE_ASSIGN_OR_RETURN(
+                  next, PartialResidual(current, m, &local, pool_));
+            } else {
+              VECUBE_ASSIGN_OR_RETURN(next,
+                                      PartialSum(current, m, &local, pool_));
+            }
+            current = std::move(next);
+          }
+        }
+        return current;
+      }
+      case Choice::kSynthesize: {
+        ElementId p_id, r_id;
+        VECUBE_ASSIGN_OR_RETURN(
+            p_id, target.Child(node.split_dim, StepKind::kPartial, shape_));
+        VECUBE_ASSIGN_OR_RETURN(
+            r_id, target.Child(node.split_dim, StepKind::kResidual, shape_));
+        Tensor p, r;
+        VECUBE_ASSIGN_OR_RETURN(p, ExecuteShared(p_id, cache, adds));
+        VECUBE_ASSIGN_OR_RETURN(r, ExecuteShared(r_id, cache, adds));
+        Tensor out;
+        VECUBE_ASSIGN_OR_RETURN(
+            out, SynthesizePair(p, r, node.split_dim, &local, pool_));
+        return out;
+      }
+      case Choice::kNone:
+        break;
+    }
+    return Status::Incomplete("stored element set cannot reconstruct " +
+                              target.ToString());
+  }();
+  adds->fetch_add(local.adds, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (result.ok()) {
+      entry->tensor = *result;
+    } else {
+      entry->status = result.status();
+    }
+    entry->ready = true;
+  }
+  entry->cv.notify_all();
+  return result;
+}
+
 Result<Tensor> AssemblyEngine::Assemble(const ElementId& target,
                                         OpCounter* ops) {
+  if (shape_.ndim() > kMaxAssemblyDims) return TooManyDims();
   if (target.ndim() != shape_.ndim()) {
     return Status::InvalidArgument("element arity does not match store");
   }
   ElementId checked;
   VECUBE_ASSIGN_OR_RETURN(checked, ElementId::Make(target.codes(), shape_));
-  return Execute(target, ops, nullptr);
+  return ExecuteSolo(target, ops);
 }
 
 Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
     const std::vector<ElementId>& targets, OpCounter* ops) {
-  std::unordered_map<uint64_t, Tensor> shared;
-  std::vector<Tensor> out;
-  out.reserve(targets.size());
+  if (shape_.ndim() > kMaxAssemblyDims) return TooManyDims();
   for (const ElementId& target : targets) {
     if (target.ndim() != shape_.ndim()) {
       return Status::InvalidArgument("element arity does not match store");
     }
     ElementId checked;
-    VECUBE_ASSIGN_OR_RETURN(checked,
-                            ElementId::Make(target.codes(), shape_));
-    Tensor tensor;
-    VECUBE_ASSIGN_OR_RETURN(tensor, Execute(target, ops, &shared));
-    out.push_back(std::move(tensor));
+    VECUBE_ASSIGN_OR_RETURN(checked, ElementId::Make(target.codes(), shape_));
   }
+
+  // Phase 1 — serial planning: memoize the plan of every node execution
+  // can touch. The memo tables are unlocked, so the concurrent phase must
+  // only ever read them.
+  std::unordered_set<uint64_t> visited;
+  for (const ElementId& target : targets) {
+    std::array<DimCode, kMaxAssemblyDims> codes{};
+    std::copy(target.codes().begin(), target.codes().end(), codes.begin());
+    WarmPlanRaw(codes.data(), &visited);
+  }
+
+  // Phase 2 — execution, fanned out across targets when a pool is
+  // available. The latched cache makes every distinct sub-element compute
+  // exactly once regardless of scheduling.
+  BatchCache cache;
+  std::atomic<uint64_t> adds{0};
+  const uint64_t count = targets.size();
+  std::vector<std::optional<Result<Tensor>>> results(count);
+  auto run_targets = [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      results[i] = ExecuteShared(targets[i], &cache, &adds);
+    }
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1 && count > 1) {
+    pool_->ParallelFor(count, 1, run_targets);
+  } else {
+    run_targets(0, count);
+  }
+
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!results[i]->ok()) return results[i]->status();
+    out.push_back(std::move(**results[i]));
+  }
+  if (ops != nullptr) ops->adds += adds.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -19,13 +19,25 @@
 // buffers with memo tables keyed by the element's mixed-radix index
 // (ElementIndexer), so planning over graphs of ~10^6 nodes stays in the
 // tens of milliseconds. Only nodes actually reached by a plan are stored.
+// The raw buffers are fixed kMaxDims arrays; every public entry point
+// rejects stores of higher arity up front (CubeShape admits up to 24
+// dimensions, so the check is load-bearing, not decorative).
+//
+// Threading model: planning is always serial (memo tables are unlocked).
+// Execution fans out on an optional ThreadPool at two levels — the Haar
+// kernels chunk their row loops, and AssembleBatch() runs independent
+// targets concurrently over a latched shared-subresult cache that computes
+// every distinct sub-element exactly once. Both levels are deterministic:
+// outputs and measured op counts are identical at every thread count.
 
 #ifndef VECUBE_CORE_ASSEMBLY_H_
 #define VECUBE_CORE_ASSEMBLY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/element_id.h"
@@ -35,6 +47,7 @@
 #include "cube/tensor.h"
 #include "haar/transform.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace vecube {
 
@@ -42,17 +55,23 @@ namespace vecube {
 inline constexpr uint64_t kInfiniteCost =
     std::numeric_limits<uint64_t>::max();
 
+/// Highest store arity the engine's fixed planning buffers support.
+inline constexpr uint32_t kMaxAssemblyDims = 16;
+
 /// Plans and executes assemblies of view elements over an ElementStore.
 /// The planner memo is tied to the store's contents; call Invalidate()
 /// after mutating the store.
 class AssemblyEngine {
  public:
-  /// Borrows the store; the caller keeps it alive.
-  explicit AssemblyEngine(const ElementStore* store);
+  /// Borrows the store (and the pool, when given); the caller keeps both
+  /// alive. A null or single-threaded pool reproduces the serial engine
+  /// exactly.
+  explicit AssemblyEngine(const ElementStore* store,
+                          ThreadPool* pool = nullptr);
 
   /// Procedure-3 cost T_n of producing `target` from the store, in
   /// add/subtract operations. kInfiniteCost if unreachable (store not
-  /// complete w.r.t. target).
+  /// complete w.r.t. target, or arity beyond kMaxAssemblyDims).
   uint64_t PlanCost(const ElementId& target);
 
   /// Materializes `target`. Status Incomplete if the stored set cannot
@@ -67,9 +86,12 @@ class AssemblyEngine {
 
   /// Multi-query assembly: materializes all targets while sharing every
   /// common sub-result (common descendants are synthesized once, cascade
-  /// prefixes reused). Returns tensors in target order; `ops` counts the
+  /// results reused). Returns tensors in target order; `ops` counts the
   /// *shared* work, which is at most the sum of individual plan costs and
-  /// often much less for overlapping targets.
+  /// often much less for overlapping targets. With a multi-threaded pool
+  /// the targets execute concurrently; the shared cache latches each
+  /// sub-element so it is still computed exactly once, keeping outputs and
+  /// op counts identical to the single-threaded batch.
   Result<std::vector<Tensor>> AssembleBatch(
       const std::vector<ElementId>& targets, OpCounter* ops = nullptr);
 
@@ -125,15 +147,30 @@ class AssemblyEngine {
     std::unordered_map<uint64_t, T> map_;
   };
 
+  // Cross-target cache of sub-results for AssembleBatch. Each entry is a
+  // latch: the first thread to insert it owns the computation; later
+  // arrivals block on `cv` until `ready`. Sub-element dependencies form a
+  // DAG (children are strictly deeper), so waits cannot cycle.
+  struct BatchCache;
+
   uint64_t EncodeRaw(const DimCode* codes) const;
   uint64_t VolumeRaw(const DimCode* codes) const;
   AncestorInfo MinAncestorRaw(DimCode* codes);
   PlanNode PlanRaw(DimCode* codes);
-  /// `shared` (optional): cross-target cache of already-built tensors.
-  Result<Tensor> Execute(const ElementId& target, OpCounter* ops,
-                         std::unordered_map<uint64_t, Tensor>* shared);
+  // Memoizes the plan of every node the execution of `codes` will visit
+  // (serially), so concurrent batch execution only reads the memo tables.
+  void WarmPlanRaw(DimCode* codes, std::unordered_set<uint64_t>* visited);
+  // Single-target execution; no sub-result caching, so the measured ops
+  // equal the analytic PlanCost (which also counts shared descendants of a
+  // single plan once per use).
+  Result<Tensor> ExecuteSolo(const ElementId& target, OpCounter* ops);
+  // Batch execution against the latched cache. `adds` accrues each
+  // computed node's kernel ops exactly once, at the computing thread.
+  Result<Tensor> ExecuteShared(const ElementId& target, BatchCache* cache,
+                               std::atomic<uint64_t>* adds);
 
   const ElementStore* store_;
+  ThreadPool* pool_;
   CubeShape shape_;
   ElementIndexer indexer_;
   bool dense_memos_ = false;

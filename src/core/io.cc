@@ -94,7 +94,7 @@ Result<ElementStore> LoadStore(const std::string& path) {
   }
 
   uint32_t ndim = 0;
-  if (!ReadScalar(f, &ndim) || ndim == 0 || ndim > 16) {
+  if (!ReadScalar(f, &ndim) || ndim == 0 || ndim > 24) {
     return Status::InvalidArgument(path + ": bad dimensionality");
   }
   std::vector<uint32_t> extents(ndim);

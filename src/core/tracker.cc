@@ -5,17 +5,27 @@
 
 namespace vecube {
 
+double AccessTracker::DecayedWeight(const Entry& entry) const {
+  if (decay_ >= 1.0 || entry.weight == 0.0) return entry.weight;
+  const uint64_t gap = generation_ - entry.touched;
+  if (gap == 0) return entry.weight;
+  return entry.weight * std::pow(decay_, static_cast<double>(gap));
+}
+
 void AccessTracker::Record(const ElementId& id) {
-  if (decay_ < 1.0) {
-    for (auto& [key, weight] : weights_) weight *= decay_;
-  }
-  weights_[id] += 1.0;
+  ++generation_;
+  Entry& entry = weights_[id];
+  entry.weight = DecayedWeight(entry) + 1.0;
+  entry.touched = generation_;
   ++total_;
 }
 
 std::vector<std::pair<ElementId, double>> AccessTracker::Distribution() const {
-  std::vector<std::pair<ElementId, double>> dist(weights_.begin(),
-                                                 weights_.end());
+  std::vector<std::pair<ElementId, double>> dist;
+  dist.reserve(weights_.size());
+  for (const auto& [id, entry] : weights_) {
+    dist.emplace_back(id, DecayedWeight(entry));
+  }
   std::sort(dist.begin(), dist.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   double total = 0.0;
@@ -40,6 +50,7 @@ double AccessTracker::L1Drift(
 void AccessTracker::Reset() {
   weights_.clear();
   total_ = 0;
+  generation_ = 0;
 }
 
 }  // namespace vecube

@@ -4,6 +4,13 @@
 // the system to dynamically reconfigure." The tracker keeps exponentially
 // decayed access weights per view element so the selection algorithms can
 // be re-run against the live distribution.
+//
+// Decay is lazy: Record() only touches the accessed entry, stamping it
+// with the current access generation; an entry's effective weight is
+// scaled by decay^(generation gap) when it is read or re-touched. This
+// keeps the query hot path O(1) per recorded access instead of the
+// O(#distinct elements) eager sweep, with identical semantics (up to
+// floating-point rounding of pow vs. repeated multiplication).
 
 #ifndef VECUBE_CORE_TRACKER_H_
 #define VECUBE_CORE_TRACKER_H_
@@ -41,9 +48,18 @@ class AccessTracker {
   void Reset();
 
  private:
+  struct Entry {
+    double weight = 0.0;     ///< weight as of generation `touched`
+    uint64_t touched = 0;    ///< generation of the last Record/rescale
+  };
+
+  /// `entry`'s weight decayed to the current generation.
+  double DecayedWeight(const Entry& entry) const;
+
   double decay_;
   uint64_t total_ = 0;
-  std::unordered_map<ElementId, double, ElementIdHash> weights_;
+  uint64_t generation_ = 0;  ///< one tick per Record()
+  std::unordered_map<ElementId, Entry, ElementIdHash> weights_;
 };
 
 }  // namespace vecube

@@ -42,12 +42,26 @@ Status ApplyPointDelta(ElementStore* store,
     return Status::InvalidArgument("store must be non-null");
   }
   const CubeShape& shape = store->shape();
-  for (const ElementId& id : store->Ids()) {
+  // Two phases: validate every projection before touching any element.
+  // A mid-loop failure must not leave the store partially updated — the
+  // elements would then disagree with the base cube and with each other.
+  struct Pending {
+    Tensor* data;
+    uint64_t flat_index;
+    int sign;
+  };
+  const std::vector<ElementId> ids = store->Ids();
+  std::vector<Pending> pending;
+  pending.reserve(ids.size());
+  for (const ElementId& id : ids) {
     PointProjection projection;
     VECUBE_ASSIGN_OR_RETURN(projection, ProjectPoint(id, coords, shape));
     Tensor* data;
     VECUBE_ASSIGN_OR_RETURN(data, store->GetMutable(id));
-    (*data)[projection.flat_index] += projection.sign * delta;
+    pending.push_back(Pending{data, projection.flat_index, projection.sign});
+  }
+  for (const Pending& p : pending) {
+    (*p.data)[p.flat_index] += p.sign * delta;
   }
   return Status::OK();
 }

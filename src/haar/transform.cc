@@ -1,5 +1,6 @@
 #include "haar/transform.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -39,9 +40,29 @@ std::vector<uint32_t> HalvedExtents(const Tensor& input, uint32_t dim) {
   return extents;
 }
 
+// Row indexing: with k = o * half + i ranging over [0, outer * half), the
+// analysis kernels read input rows 2k and 2k+1 (each `inner` cells) and
+// write output row k; synthesis is the transpose. The o/i loop nests of
+// the serial kernels collapse to this single row loop, which is what the
+// pool chunks over. Each row is >= `inner` cells of work, so the grain is
+// chosen to keep every chunk at or above kParallelKernelCells cells.
+void RunRows(ThreadPool* pool, uint64_t rows, uint64_t inner,
+             uint64_t total_cells,
+             const std::function<void(uint64_t, uint64_t)>& body) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      total_cells < kParallelKernelCells) {
+    body(0, rows);
+    return;
+  }
+  const uint64_t grain =
+      std::max<uint64_t>(1, kParallelKernelCells / std::max<uint64_t>(inner, 1));
+  pool->ParallelFor(rows, grain, body);
+}
+
 }  // namespace
 
-Result<Tensor> PartialSum(const Tensor& input, uint32_t dim, OpCounter* ops) {
+Result<Tensor> PartialSum(const Tensor& input, uint32_t dim, OpCounter* ops,
+                          ThreadPool* pool) {
   AxisGeometry g;
   VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
   Tensor out;
@@ -49,23 +70,22 @@ Result<Tensor> PartialSum(const Tensor& input, uint32_t dim, OpCounter* ops) {
 
   const double* src = input.raw();
   double* dst = out.raw();
-  const uint64_t half = g.n / 2;
-  for (uint64_t o = 0; o < g.outer; ++o) {
-    const double* in_block = src + o * g.n * g.inner;
-    double* out_block = dst + o * half * g.inner;
-    for (uint64_t i = 0; i < half; ++i) {
-      const double* even = in_block + (2 * i) * g.inner;
-      const double* odd = even + g.inner;
-      double* row = out_block + i * g.inner;
-      for (uint64_t j = 0; j < g.inner; ++j) row[j] = even[j] + odd[j];
+  const uint64_t inner = g.inner;
+  const uint64_t rows = g.outer * (g.n / 2);
+  RunRows(pool, rows, inner, out.size(), [=](uint64_t begin, uint64_t end) {
+    for (uint64_t k = begin; k < end; ++k) {
+      const double* even = src + (2 * k) * inner;
+      const double* odd = even + inner;
+      double* row = dst + k * inner;
+      for (uint64_t j = 0; j < inner; ++j) row[j] = even[j] + odd[j];
     }
-  }
+  });
   if (ops != nullptr) ops->adds += out.size();
   return out;
 }
 
 Result<Tensor> PartialResidual(const Tensor& input, uint32_t dim,
-                               OpCounter* ops) {
+                               OpCounter* ops, ThreadPool* pool) {
   AxisGeometry g;
   VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
   Tensor out;
@@ -73,23 +93,22 @@ Result<Tensor> PartialResidual(const Tensor& input, uint32_t dim,
 
   const double* src = input.raw();
   double* dst = out.raw();
-  const uint64_t half = g.n / 2;
-  for (uint64_t o = 0; o < g.outer; ++o) {
-    const double* in_block = src + o * g.n * g.inner;
-    double* out_block = dst + o * half * g.inner;
-    for (uint64_t i = 0; i < half; ++i) {
-      const double* even = in_block + (2 * i) * g.inner;
-      const double* odd = even + g.inner;
-      double* row = out_block + i * g.inner;
-      for (uint64_t j = 0; j < g.inner; ++j) row[j] = even[j] - odd[j];
+  const uint64_t inner = g.inner;
+  const uint64_t rows = g.outer * (g.n / 2);
+  RunRows(pool, rows, inner, out.size(), [=](uint64_t begin, uint64_t end) {
+    for (uint64_t k = begin; k < end; ++k) {
+      const double* even = src + (2 * k) * inner;
+      const double* odd = even + inner;
+      double* row = dst + k * inner;
+      for (uint64_t j = 0; j < inner; ++j) row[j] = even[j] - odd[j];
     }
-  }
+  });
   if (ops != nullptr) ops->adds += out.size();
   return out;
 }
 
 Status PartialPair(const Tensor& input, uint32_t dim, Tensor* partial,
-                   Tensor* residual, OpCounter* ops) {
+                   Tensor* residual, OpCounter* ops, ThreadPool* pool) {
   if (partial == nullptr || residual == nullptr) {
     return Status::InvalidArgument("output pointers must be non-null");
   }
@@ -101,30 +120,29 @@ Status PartialPair(const Tensor& input, uint32_t dim, Tensor* partial,
   const double* src = input.raw();
   double* dst_p = partial->raw();
   double* dst_r = residual->raw();
-  const uint64_t half = g.n / 2;
-  for (uint64_t o = 0; o < g.outer; ++o) {
-    const double* in_block = src + o * g.n * g.inner;
-    double* p_block = dst_p + o * half * g.inner;
-    double* r_block = dst_r + o * half * g.inner;
-    for (uint64_t i = 0; i < half; ++i) {
-      const double* even = in_block + (2 * i) * g.inner;
-      const double* odd = even + g.inner;
-      double* p_row = p_block + i * g.inner;
-      double* r_row = r_block + i * g.inner;
-      for (uint64_t j = 0; j < g.inner; ++j) {
-        const double a = even[j];
-        const double b = odd[j];
-        p_row[j] = a + b;
-        r_row[j] = a - b;
-      }
-    }
-  }
+  const uint64_t inner = g.inner;
+  const uint64_t rows = g.outer * (g.n / 2);
+  RunRows(pool, rows, inner, partial->size(),
+          [=](uint64_t begin, uint64_t end) {
+            for (uint64_t k = begin; k < end; ++k) {
+              const double* even = src + (2 * k) * inner;
+              const double* odd = even + inner;
+              double* p_row = dst_p + k * inner;
+              double* r_row = dst_r + k * inner;
+              for (uint64_t j = 0; j < inner; ++j) {
+                const double a = even[j];
+                const double b = odd[j];
+                p_row[j] = a + b;
+                r_row[j] = a - b;
+              }
+            }
+          });
   if (ops != nullptr) ops->adds += partial->size() + residual->size();
   return Status::OK();
 }
 
 Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
-                              uint32_t dim, OpCounter* ops) {
+                              uint32_t dim, OpCounter* ops, ThreadPool* pool) {
   if (partial.extents() != residual.extents()) {
     return Status::InvalidArgument(
         "partial and residual children must have identical extents (" +
@@ -144,14 +162,12 @@ Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
   const double* src_p = partial.raw();
   const double* src_r = residual.raw();
   double* dst = out.raw();
-  for (uint64_t o = 0; o < outer; ++o) {
-    const double* p_block = src_p + o * half * inner;
-    const double* r_block = src_r + o * half * inner;
-    double* out_block = dst + o * (2 * half) * inner;
-    for (uint64_t i = 0; i < half; ++i) {
-      const double* p_row = p_block + i * inner;
-      const double* r_row = r_block + i * inner;
-      double* even = out_block + (2 * i) * inner;
+  const uint64_t rows = outer * half;
+  RunRows(pool, rows, 2 * inner, out.size(), [=](uint64_t begin, uint64_t end) {
+    for (uint64_t k = begin; k < end; ++k) {
+      const double* p_row = src_p + k * inner;
+      const double* r_row = src_r + k * inner;
+      double* even = dst + (2 * k) * inner;
       double* odd = even + inner;
       for (uint64_t j = 0; j < inner; ++j) {
         const double p = p_row[j];
@@ -160,7 +176,7 @@ Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
         odd[j] = 0.5 * (p - r);
       }
     }
-  }
+  });
   if (ops != nullptr) ops->adds += out.size();
   return out;
 }

@@ -16,6 +16,14 @@
 // the unit in which the paper's processing costs (Eqs. 26-28, Procedure 3)
 // are expressed, and all kernels optionally report it so that measured
 // counts can be checked against the analytic cost model.
+//
+// Parallelism: every kernel is a gather over independent output rows
+// (outer-block × half-extent pairs), so each optionally fans the row loop
+// out over a ThreadPool. Chunks are disjoint output ranges and the op
+// count is derived from the output volume on the calling thread, so
+// results and counters are bit-identical to the serial path at any thread
+// count. Tensors below kParallelKernelCells always run serially — the
+// fork/join overhead dwarfs the arithmetic there.
 
 #ifndef VECUBE_HAAR_TRANSFORM_H_
 #define VECUBE_HAAR_TRANSFORM_H_
@@ -24,6 +32,7 @@
 
 #include "cube/tensor.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace vecube {
 
@@ -34,26 +43,34 @@ struct OpCounter {
   void Reset() { adds = 0; }
 };
 
+/// Minimum output cells before a kernel fans out over a thread pool.
+inline constexpr uint64_t kParallelKernelCells = uint64_t{1} << 14;
+
 /// First partial aggregation P1 along `dim` (Eq. 1). The input extent along
-/// `dim` must be even; the output extent is halved. `ops` may be null.
+/// `dim` must be even; the output extent is halved. `ops` may be null;
+/// `pool` (optional) parallelizes the row loop for large tensors.
 Result<Tensor> PartialSum(const Tensor& input, uint32_t dim,
-                          OpCounter* ops = nullptr);
+                          OpCounter* ops = nullptr,
+                          ThreadPool* pool = nullptr);
 
 /// First partial residual R1 along `dim` (Eq. 2). Same shape contract as
 /// PartialSum.
 Result<Tensor> PartialResidual(const Tensor& input, uint32_t dim,
-                               OpCounter* ops = nullptr);
+                               OpCounter* ops = nullptr,
+                               ThreadPool* pool = nullptr);
 
 /// Computes P1 and R1 in a single pass over the input (one load pair per
 /// output pair); cheaper than two separate calls when both are needed.
 Status PartialPair(const Tensor& input, uint32_t dim, Tensor* partial,
-                   Tensor* residual, OpCounter* ops = nullptr);
+                   Tensor* residual, OpCounter* ops = nullptr,
+                   ThreadPool* pool = nullptr);
 
 /// Perfect reconstruction (Eqs. 3-4): rebuilds the parent from the partial
 /// and residual children along `dim`. `partial` and `residual` must have
 /// identical extents; the output doubles the extent along `dim`.
 Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
-                              uint32_t dim, OpCounter* ops = nullptr);
+                              uint32_t dim, OpCounter* ops = nullptr,
+                              ThreadPool* pool = nullptr);
 
 }  // namespace vecube
 

@@ -7,10 +7,10 @@
 namespace vecube {
 
 RangeEngine::RangeEngine(const ElementStore* store,
-                         MissingElementPolicy policy)
+                         MissingElementPolicy policy, ThreadPool* pool)
     : store_(store),
       policy_(policy),
-      engine_(store),
+      engine_(store, pool),
       assembled_cache_(store->shape()) {
   VECUBE_CHECK(store != nullptr);
 }

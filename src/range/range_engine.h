@@ -38,10 +38,12 @@ struct RangeQueryStats {
 
 class RangeEngine {
  public:
-  /// Borrows the store; the caller keeps it alive.
+  /// Borrows the store (and pool, if given); the caller keeps both alive.
+  /// The pool parallelizes on-demand assembly of missing elements.
   explicit RangeEngine(const ElementStore* store,
                        MissingElementPolicy policy =
-                           MissingElementPolicy::kAssemble);
+                           MissingElementPolicy::kAssemble,
+                       ThreadPool* pool = nullptr);
 
   /// S(G(A)) of Eq. 36 via the dyadic decomposition. `stats` optional.
   Result<double> RangeSum(const RangeSpec& range,

@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace vecube {
+
+namespace {
+
+// Shared state of one ParallelFor. Held by shared_ptr so helper tasks that
+// are dequeued after the loop has already finished remain safe: they claim
+// an out-of-range chunk index and return without touching `fn`.
+struct ForLoop {
+  uint64_t n = 0;
+  uint64_t chunk = 0;
+  uint64_t num_chunks = 0;
+  const std::function<void(uint64_t, uint64_t)>* fn = nullptr;
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+// Claims and runs chunks until none remain. `fn` is only dereferenced for
+// a claimed in-range chunk, and the issuing thread cannot return from
+// ParallelFor until that chunk's completion is counted, so the pointer
+// stays valid for every dereference.
+void RunChunks(ForLoop* loop) {
+  for (;;) {
+    const uint64_t index = loop->next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= loop->num_chunks) return;
+    const uint64_t begin = index * loop->chunk;
+    const uint64_t end = std::min(loop->n, begin + loop->chunk);
+    (*loop->fn)(begin, end);
+    if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        loop->num_chunks) {
+      std::lock_guard<std::mutex> lock(loop->mu);
+      loop->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+uint32_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(num_threads == 0 ? DefaultThreadCount() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.back());
+      tasks_.pop_back();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t n, uint64_t grain,
+                             const std::function<void(uint64_t, uint64_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const uint64_t max_chunks = (n + grain - 1) / grain;
+  if (num_threads_ <= 1 || max_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  auto loop = std::make_shared<ForLoop>();
+  // Several chunks per lane smooths imbalance without shrinking chunks
+  // below the grain.
+  const uint64_t target_chunks =
+      std::min<uint64_t>(max_chunks, uint64_t{num_threads_} * 4);
+  loop->n = n;
+  loop->chunk = (n + target_chunks - 1) / target_chunks;
+  loop->num_chunks = (n + loop->chunk - 1) / loop->chunk;
+  loop->fn = &fn;
+
+  const uint64_t helpers =
+      std::min<uint64_t>(workers_.size(), loop->num_chunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back([loop] { RunChunks(loop.get()); });
+    }
+  }
+  cv_.notify_all();
+
+  RunChunks(loop.get());
+  std::unique_lock<std::mutex> lock(loop->mu);
+  loop->cv.wait(lock, [&loop] {
+    return loop->done.load(std::memory_order_acquire) == loop->num_chunks;
+  });
+}
+
+}  // namespace vecube

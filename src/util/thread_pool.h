@@ -1,0 +1,64 @@
+// ThreadPool: a small fixed-size pool with a chunk-claiming ParallelFor.
+//
+// Design constraints, in order:
+//  * Deterministic results. ParallelFor partitions [0, n) into disjoint
+//    chunks; callers must make each chunk's work independent, so the
+//    output is bit-identical to the serial loop regardless of scheduling.
+//  * Deadlock-free nesting. The calling thread always participates in its
+//    own loop and claims chunks until none remain, so a ParallelFor issued
+//    from inside a pool task completes even when every worker is busy —
+//    helper tasks are pure opportunism. This is what lets the assembly
+//    engine fan out over batch targets while the Haar kernels underneath
+//    fan out over row blocks on the same pool.
+//  * No work stealing, no per-thread queues: one mutex-protected task
+//    list. The kernels this pool serves run for microseconds to
+//    milliseconds per chunk, so queue contention is noise.
+
+#ifndef VECUBE_UTIL_THREAD_POOL_H_
+#define VECUBE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vecube {
+
+class ThreadPool {
+ public:
+  /// Hardware concurrency, at least 1.
+  static uint32_t DefaultThreadCount();
+
+  /// A pool of `num_threads` execution lanes: the calling thread plus
+  /// `num_threads - 1` workers. 0 means DefaultThreadCount().
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Invokes fn(begin, end) over disjoint chunks covering [0, n), each at
+  /// least `grain` items (except possibly the last). Runs inline when the
+  /// pool is single-threaded or the range is below the grain. Blocks until
+  /// every chunk has completed. Safe to call from inside a pool task.
+  void ParallelFor(uint64_t n, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_THREAD_POOL_H_

@@ -106,8 +106,39 @@ TEST_F(HighDimFixture, WaveletBasisNonExpansive) {
   }
 }
 
-TEST(DimensionLimitTest, SeventeenDimsRejected) {
-  EXPECT_FALSE(CubeShape::Make(std::vector<uint32_t>(17, 2)).ok());
+// Regression: the assembly planner runs on fixed 16-slot code buffers. A
+// 17-dimensional store used to overflow them silently (stack smash at
+// PlanCost/Execute's std::array copy); the engine must reject such shapes
+// cleanly instead, mirroring Procedure3Calculator::Make.
+TEST(DimensionLimitTest, SeventeenDimStoreRejectedByAssemblyEngine) {
+  auto shape = CubeShape::Make(std::vector<uint32_t>(17, 2));
+  ASSERT_TRUE(shape.ok());  // representable: the shape cap is 24
+  Rng rng(11);
+  auto cube = UniformIntegerCube(*shape, &rng, -3, 3);
+  ASSERT_TRUE(cube.ok());
+  ElementComputer computer(*shape, &*cube);
+  auto store = computer.Materialize(CubeOnlySet(*shape));
+  ASSERT_TRUE(store.ok());
+
+  AssemblyEngine engine(&*store);
+  const ElementId root = ElementId::Root(17);
+  EXPECT_EQ(engine.PlanCost(root), kInfiniteCost);
+
+  auto assembled = engine.Assemble(root);
+  ASSERT_FALSE(assembled.ok());
+  EXPECT_TRUE(assembled.status().IsInvalidArgument());
+
+  auto batch = engine.AssembleBatch({root});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+
+  auto view = engine.AssembleView((1u << 17) - 1);
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsInvalidArgument());
+}
+
+TEST(DimensionLimitTest, TwentyFiveDimsRejectedByShape) {
+  EXPECT_FALSE(CubeShape::Make(std::vector<uint32_t>(25, 2)).ok());
 }
 
 }  // namespace

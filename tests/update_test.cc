@@ -153,13 +153,28 @@ TEST(ApplyDeltasTest, BatchEqualsSequential) {
 }
 
 TEST(ApplyPointDeltaTest, OutOfRangeRejectedAtomically) {
-  const CubeShape shape = Shape({4});
-  auto cube = Tensor::Zeros({4});
+  // A failed delta must leave every element untouched — ApplyPointDelta
+  // validates all projections before mutating anything, so a mid-loop
+  // failure cannot leave the store inconsistent with the base cube.
+  const CubeShape shape = Shape({4, 4});
+  Rng rng(3);
+  auto cube = UniformIntegerCube(shape, &rng, -9, 9);
+  ASSERT_TRUE(cube.ok());
   ElementComputer computer(shape, &*cube);
-  auto store = computer.Materialize(CubeOnlySet(shape));
+  auto store = computer.Materialize(WaveletBasisSet(shape));
   ASSERT_TRUE(store.ok());
-  EXPECT_FALSE(ApplyPointDelta(&*store, {9}, 1.0).ok());
-  EXPECT_FALSE(ApplyPointDelta(nullptr, {0}, 1.0).ok());
+
+  std::vector<std::vector<double>> before;
+  for (const ElementId& id : store->Ids()) {
+    before.push_back((*store->Get(id))->data());
+  }
+  EXPECT_FALSE(ApplyPointDelta(&*store, {9, 0}, 1.0).ok());
+  EXPECT_FALSE(ApplyPointDelta(&*store, {0, 9}, 1.0).ok());
+  EXPECT_FALSE(ApplyPointDelta(nullptr, {0, 0}, 1.0).ok());
+  size_t i = 0;
+  for (const ElementId& id : store->Ids()) {
+    EXPECT_EQ((*store->Get(id))->data(), before[i++]) << id.ToString();
+  }
 }
 
 }  // namespace
