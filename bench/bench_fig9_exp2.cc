@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
               "relative (paper: 2.44)\n\n",
               static_cast<unsigned long long>(vol),
               static_cast<unsigned long long>(max_storage),
-              static_cast<double>(max_storage) / vol);
+              static_cast<double>(max_storage) / static_cast<double>(vol));
 
   vecube::Rng rng(19980603);
   std::vector<std::vector<vecube::GreedyStep>> d_frontiers, v_frontiers;
@@ -106,10 +106,11 @@ int main(int argc, char** argv) {
     }
     d_cost /= trials;
     v_cost /= trials;
-    std::printf("%-10.3f %16.2f %16.2f\n", static_cast<double>(storage) / vol,
+    std::printf("%-10.3f %16.2f %16.2f\n",
+                static_cast<double>(storage) / static_cast<double>(vol),
                 d_cost, v_cost);
     if (point_c < 0 && d_cost <= point_a) {
-      point_c = static_cast<double>(storage) / vol;
+      point_c = static_cast<double>(storage) / static_cast<double>(vol);
     }
   }
 

@@ -19,6 +19,38 @@ OlapSession::OlapSession(CubeShape shape, Tensor cube, Options options)
                                ? ThreadPool::DefaultThreadCount()
                                : options.num_threads;
   if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  if (options.verify_invariants) {
+    checker_ =
+        std::make_unique<InvariantChecker>(shape_, options.verify_options);
+  }
+}
+
+Status OlapSession::VerifyFullState() {
+  if (checker_ == nullptr) return Status::OK();
+  VECUBE_RETURN_NOT_OK(checker_->CheckAll(store_, cube_));
+  if (count_store_.has_value()) {
+    VECUBE_RETURN_NOT_OK(checker_->CheckAll(*count_store_, *count_cube_));
+  }
+  return Status::OK();
+}
+
+Status OlapSession::VerifyAfterUpdate() {
+  if (checker_ == nullptr) return Status::OK();
+  VECUBE_RETURN_NOT_OK(checker_->CheckElementBounds(store_));
+  VECUBE_RETURN_NOT_OK(checker_->CheckStoreConsistency(store_, cube_));
+  if (count_store_.has_value()) {
+    VECUBE_RETURN_NOT_OK(
+        checker_->CheckStoreConsistency(*count_store_, *count_cube_));
+  }
+  return Status::OK();
+}
+
+Status OlapSession::VerifyOpCount(const ElementId& target,
+                                  uint64_t measured_ops) {
+  if (checker_ == nullptr) return Status::OK();
+  // PlanCost is memoized from the assembly that just ran, so this is a
+  // table lookup, not a second planning pass.
+  return checker_->CheckOpCount(engine_->PlanCost(target), measured_ops);
 }
 
 Result<std::unique_ptr<OlapSession>> OlapSession::FromCube(
@@ -45,6 +77,7 @@ Result<std::unique_ptr<OlapSession>> OlapSession::FromCube(
     session->count_store_ = std::move(count_store);
   }
   session->RebuildEngines();
+  VECUBE_RETURN_NOT_OK(session->VerifyFullState());
   return session;
 }
 
@@ -69,6 +102,7 @@ Result<std::unique_ptr<OlapSession>> OlapSession::FromRelation(
                                          *session->count_cube_));
     session->count_store_ = std::move(count_store);
     session->RebuildEngines();
+    VECUBE_RETURN_NOT_OK(session->VerifyFullState());
   }
   return session;
 }
@@ -136,6 +170,7 @@ Status OlapSession::Optimize() {
   }
   RebuildEngines();
   ++stats_.optimizations;
+  VECUBE_RETURN_NOT_OK(VerifyFullState());
   return Status::OK();
 }
 
@@ -157,6 +192,7 @@ Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
   }
   // Element data changed in place; plans (which depend only on which
   // elements exist) remain valid, so no engine invalidation is needed.
+  VECUBE_RETURN_NOT_OK(VerifyAfterUpdate());
   return Status::OK();
 }
 
@@ -172,6 +208,12 @@ Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask) {
   Tensor sums, counts;
   VECUBE_ASSIGN_OR_RETURN(sums, engine_->Assemble(view, &ops));
   VECUBE_ASSIGN_OR_RETURN(counts, count_engine_->Assemble(view, &ops));
+  if (checker_ != nullptr) {
+    // Both assemblies accrued into one counter; each engine's measured
+    // ops must equal its own memoized plan cost, so the sum must too.
+    VECUBE_RETURN_NOT_OK(checker_->CheckOpCount(
+        engine_->PlanCost(view) + count_engine_->PlanCost(view), ops.adds));
+  }
   ++stats_.queries;
   stats_.assembly_ops += ops.adds;
   if (options_.track_accesses) tracker_.Record(view);
@@ -193,6 +235,7 @@ Result<Tensor> OlapSession::Element(const ElementId& id) {
   OpCounter ops;
   Tensor answer;
   VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(id, &ops));
+  VECUBE_RETURN_NOT_OK(VerifyOpCount(id, ops.adds));
   ++stats_.queries;
   stats_.assembly_ops += ops.adds;
   if (options_.track_accesses) tracker_.Record(id);

@@ -30,6 +30,7 @@
 #include "range/range_engine.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
+#include "verify/invariants.h"
 #include "workload/population.h"
 
 namespace vecube {
@@ -60,6 +61,19 @@ struct OlapSessionOptions {
   /// 1 = fully serial, bit- and count-identical to the single-threaded
   /// engine (any thread count is, but 1 spawns no workers at all).
   uint32_t num_threads = 0;
+  /// Run the InvariantChecker (src/verify) after each engine operation:
+  /// (k,o) bounds, Haar round trip, non-expansive splits, op-count ==
+  /// plan-cost, and store consistency after incremental maintenance. A
+  /// violation surfaces as Status/Result Internal from the operation that
+  /// exposed it. Defaults to ON when the tree is built with the
+  /// VECUBE_VERIFY CMake option, OFF otherwise.
+#ifdef VECUBE_VERIFY
+  bool verify_invariants = true;
+#else
+  bool verify_invariants = false;
+#endif
+  /// Budgets for the checker when enabled.
+  InvariantOptions verify_options = {};
 };
 
 class OlapSession {
@@ -104,15 +118,26 @@ class OlapSession {
   /// assembled on demand and cached.
   Result<double> RangeSum(const RangeSpec& range);
 
-  const CubeShape& shape() const { return shape_; }
-  const ElementStore& store() const { return store_; }
-  const SessionStats& stats() const { return stats_; }
-  const Tensor& cube() const { return cube_; }
+  [[nodiscard]] const CubeShape& shape() const { return shape_; }
+  [[nodiscard]] const ElementStore& store() const { return store_; }
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  [[nodiscard]] const Tensor& cube() const { return cube_; }
+  /// Violation accounting when Options::verify_invariants is on; null
+  /// otherwise.
+  [[nodiscard]] const InvariantChecker* invariant_checker() const { return checker_.get(); }
 
  private:
   OlapSession(CubeShape shape, Tensor cube, Options options);
 
   void RebuildEngines();
+  /// Full invariant sweep (bounds, round trip, splits, consistency,
+  /// reconstruction) over the SUM store — and the COUNT store when
+  /// maintained. No-op returning OK when verification is off.
+  Status VerifyFullState();
+  /// Light per-update sweep: bounds + sampled store/cube consistency.
+  Status VerifyAfterUpdate();
+  /// Measured-vs-planned op check for one assembled target.
+  Status VerifyOpCount(const ElementId& target, uint64_t measured_ops);
 
   CubeShape shape_;
   Tensor cube_;
@@ -127,6 +152,7 @@ class OlapSession {
   AccessTracker tracker_;
   std::optional<QueryPopulation> declared_workload_;
   SessionStats stats_;
+  std::unique_ptr<InvariantChecker> checker_;  // null when verification off
 };
 
 }  // namespace vecube

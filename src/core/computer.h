@@ -36,7 +36,7 @@ class ElementComputer {
 
   /// Drops cached cascade prefixes (the root cube is retained).
   void ClearCache() { cache_.clear(); }
-  size_t CacheSize() const { return cache_.size(); }
+  [[nodiscard]] size_t CacheSize() const { return cache_.size(); }
 
  private:
   CubeShape shape_;

@@ -59,9 +59,17 @@ class ElementId {
   static Result<ElementId> Intermediate(const std::vector<uint32_t>& levels,
                                         const CubeShape& shape);
 
-  uint32_t ndim() const { return static_cast<uint32_t>(codes_.size()); }
-  const DimCode& dim(uint32_t m) const { return codes_[m]; }
-  const std::vector<DimCode>& codes() const { return codes_; }
+  /// Constructs an id from raw codes WITHOUT validating them against any
+  /// shape. For corruption-injection tests of the invariant checker
+  /// (src/verify) only — invalid codes are caught by the checker, not
+  /// here. Production code must use Make().
+  static ElementId UnsafeFromCodes(std::vector<DimCode> codes) {
+    return ElementId(std::move(codes));
+  }
+
+  [[nodiscard]] uint32_t ndim() const { return static_cast<uint32_t>(codes_.size()); }
+  [[nodiscard]] const DimCode& dim(uint32_t m) const { return codes_[m]; }
+  [[nodiscard]] const std::vector<DimCode>& codes() const { return codes_; }
 
   /// True iff `level < log2(n_dim)` so the children along `dim` exist.
   bool CanSplit(uint32_t dim, const CubeShape& shape) const;
@@ -84,7 +92,7 @@ class ElementId {
   bool IsRoot() const;
   bool IsAggregatedView(const CubeShape& shape) const;
   bool IsIntermediate() const;
-  bool IsResidual() const { return !IsIntermediate(); }
+  [[nodiscard]] bool IsResidual() const { return !IsIntermediate(); }
 
   /// Extents of the element's data array: n_m >> level_m.
   std::vector<uint32_t> DataExtents(const CubeShape& shape) const;

@@ -52,8 +52,11 @@ std::string FreqRect::ToString() const {
   std::string out = "{";
   for (uint32_t m = 0; m < ndim(); ++m) {
     if (m > 0) out += " x ";
-    out += "[" + std::to_string(intervals_[m].lo) + "," +
-           std::to_string(intervals_[m].hi) + ")";
+    out += '[';
+    out += std::to_string(intervals_[m].lo);
+    out += ',';
+    out += std::to_string(intervals_[m].hi);
+    out += ')';
   }
   out += "}";
   return out;

@@ -23,7 +23,7 @@ struct FreqInterval {
   uint64_t lo = 0;
   uint64_t hi = 0;
 
-  uint64_t width() const { return hi - lo; }
+  [[nodiscard]] uint64_t width() const { return hi - lo; }
   bool operator==(const FreqInterval&) const = default;
 };
 
@@ -34,8 +34,8 @@ class FreqRect {
   /// Rectangle of `id` within a cube of `shape`.
   static FreqRect Of(const ElementId& id, const CubeShape& shape);
 
-  uint32_t ndim() const { return static_cast<uint32_t>(intervals_.size()); }
-  const FreqInterval& interval(uint32_t m) const { return intervals_[m]; }
+  [[nodiscard]] uint32_t ndim() const { return static_cast<uint32_t>(intervals_.size()); }
+  [[nodiscard]] const FreqInterval& interval(uint32_t m) const { return intervals_[m]; }
 
   /// Volume in units == element data volume in cells.
   uint64_t Volume() const;
@@ -43,7 +43,7 @@ class FreqRect {
   /// Overlap volume in cells; 0 when disjoint (Eqs. 24-25).
   uint64_t Overlap(const FreqRect& other) const;
 
-  bool Intersects(const FreqRect& other) const { return Overlap(other) > 0; }
+  [[nodiscard]] bool Intersects(const FreqRect& other) const { return Overlap(other) > 0; }
 
   /// True iff this rectangle contains `other` entirely; for dyadic
   /// rectangles this is equivalent to `other` being a descendant of this

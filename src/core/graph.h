@@ -24,7 +24,7 @@ class ViewElementGraph {
  public:
   explicit ViewElementGraph(CubeShape shape) : shape_(std::move(shape)) {}
 
-  const CubeShape& shape() const { return shape_; }
+  [[nodiscard]] const CubeShape& shape() const { return shape_; }
 
   /// N_ve = Π(2 n_m − 1)   (Eq. 17)
   uint64_t NumElements() const;
@@ -71,8 +71,8 @@ class ElementIndexer {
  public:
   explicit ElementIndexer(CubeShape shape);
 
-  const CubeShape& shape() const { return shape_; }
-  uint64_t size() const { return size_; }
+  [[nodiscard]] const CubeShape& shape() const { return shape_; }
+  [[nodiscard]] uint64_t size() const { return size_; }
 
   uint64_t Encode(const ElementId& id) const;
   ElementId Decode(uint64_t index) const;

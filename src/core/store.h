@@ -21,7 +21,7 @@ class ElementStore {
  public:
   explicit ElementStore(CubeShape shape) : shape_(std::move(shape)) {}
 
-  const CubeShape& shape() const { return shape_; }
+  [[nodiscard]] const CubeShape& shape() const { return shape_; }
 
   /// Inserts (or replaces) an element. The tensor extents must match the
   /// id's data extents for this shape.
@@ -30,7 +30,7 @@ class ElementStore {
   /// Removes an element; NotFound if absent.
   Status Erase(const ElementId& id);
 
-  bool Contains(const ElementId& id) const { return map_.count(id) > 0; }
+  [[nodiscard]] bool Contains(const ElementId& id) const { return map_.count(id) > 0; }
 
   /// Borrowed pointer to the element data; NotFound if absent.
   Result<const Tensor*> Get(const ElementId& id) const;
@@ -38,10 +38,10 @@ class ElementStore {
   /// Mutable access for in-place maintenance (extents must not change).
   Result<Tensor*> GetMutable(const ElementId& id);
 
-  size_t size() const { return map_.size(); }
+  [[nodiscard]] size_t size() const { return map_.size(); }
 
   /// Σ Vol over stored elements — the storage cost axis of Section 7.2.2.
-  uint64_t StorageCells() const { return storage_cells_; }
+  [[nodiscard]] uint64_t StorageCells() const { return storage_cells_; }
 
   /// Storage relative to the cube volume (the paper's Figure 9 axis).
   double RelativeStorage() const {

@@ -33,7 +33,7 @@ class AccessTracker {
   /// Records one access to `id`.
   void Record(const ElementId& id);
 
-  uint64_t total_accesses() const { return total_; }
+  [[nodiscard]] uint64_t total_accesses() const { return total_; }
 
   /// Normalized frequency distribution over observed ids (sums to 1);
   /// empty if nothing recorded. Deterministically ordered by id.

@@ -34,7 +34,7 @@ class Relation {
   uint32_t num_measures() const {
     return static_cast<uint32_t>(measure_names_.size());
   }
-  uint64_t num_rows() const { return num_rows_; }
+  [[nodiscard]] uint64_t num_rows() const { return num_rows_; }
 
   const std::string& functional_name(uint32_t i) const {
     return functional_names_[i];
@@ -81,9 +81,9 @@ class Dictionary {
   Result<uint32_t> Lookup(int64_t value) const;
 
   /// Value for a given index.
-  int64_t Decode(uint32_t index) const { return values_[index]; }
+  [[nodiscard]] int64_t Decode(uint32_t index) const { return values_[index]; }
 
-  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+  [[nodiscard]] uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
 
  private:
   std::unordered_map<int64_t, uint32_t> index_;

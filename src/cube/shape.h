@@ -36,19 +36,19 @@ class CubeShape {
   /// view element.
   static Result<CubeShape> MakePadded(const std::vector<uint32_t>& raw_extents);
 
-  uint32_t ndim() const { return static_cast<uint32_t>(extents_.size()); }
-  const std::vector<uint32_t>& extents() const { return extents_; }
-  uint32_t extent(uint32_t dim) const { return extents_[dim]; }
+  [[nodiscard]] uint32_t ndim() const { return static_cast<uint32_t>(extents_.size()); }
+  [[nodiscard]] const std::vector<uint32_t>& extents() const { return extents_; }
+  [[nodiscard]] uint32_t extent(uint32_t dim) const { return extents_[dim]; }
   /// log2 of the extent of `dim`; also the cascade depth D_m of Section 4.1.
-  uint32_t log_extent(uint32_t dim) const { return log_extents_[dim]; }
-  const std::vector<uint32_t>& log_extents() const { return log_extents_; }
+  [[nodiscard]] uint32_t log_extent(uint32_t dim) const { return log_extents_[dim]; }
+  [[nodiscard]] const std::vector<uint32_t>& log_extents() const { return log_extents_; }
 
   /// Number of cells, Vol(A) of Eq. 11.
-  uint64_t volume() const { return volume_; }
+  [[nodiscard]] uint64_t volume() const { return volume_; }
 
   /// Row-major stride of `dim` (last dimension is contiguous).
-  uint64_t stride(uint32_t dim) const { return strides_[dim]; }
-  const std::vector<uint64_t>& strides() const { return strides_; }
+  [[nodiscard]] uint64_t stride(uint32_t dim) const { return strides_[dim]; }
+  [[nodiscard]] const std::vector<uint64_t>& strides() const { return strides_; }
 
   /// Flat offset of a coordinate vector (unchecked in release builds).
   uint64_t FlatIndex(const std::vector<uint32_t>& coords) const;

@@ -23,8 +23,8 @@ class SparseCube {
  public:
   explicit SparseCube(CubeShape shape) : shape_(std::move(shape)) {}
 
-  const CubeShape& shape() const { return shape_; }
-  uint64_t num_nonzero() const { return indices_.size(); }
+  [[nodiscard]] const CubeShape& shape() const { return shape_; }
+  [[nodiscard]] uint64_t num_nonzero() const { return indices_.size(); }
 
   /// Fraction of cells that are non-zero.
   double density() const {
@@ -47,8 +47,8 @@ class SparseCube {
                                       const Tensor& dense,
                                       double zero_tol = 0.0);
 
-  const std::vector<uint64_t>& indices() const { return indices_; }
-  const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] const std::vector<uint64_t>& indices() const { return indices_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
  private:
   // Kept sorted by flat index; Add uses binary search + insert, which is

@@ -29,17 +29,17 @@ class Tensor {
   static Result<Tensor> FromData(std::vector<uint32_t> extents,
                                  std::vector<double> data);
 
-  uint32_t ndim() const { return static_cast<uint32_t>(extents_.size()); }
-  const std::vector<uint32_t>& extents() const { return extents_; }
-  uint32_t extent(uint32_t dim) const { return extents_[dim]; }
-  uint64_t size() const { return data_.size(); }
-  uint64_t stride(uint32_t dim) const { return strides_[dim]; }
+  [[nodiscard]] uint32_t ndim() const { return static_cast<uint32_t>(extents_.size()); }
+  [[nodiscard]] const std::vector<uint32_t>& extents() const { return extents_; }
+  [[nodiscard]] uint32_t extent(uint32_t dim) const { return extents_[dim]; }
+  [[nodiscard]] uint64_t size() const { return data_.size(); }
+  [[nodiscard]] uint64_t stride(uint32_t dim) const { return strides_[dim]; }
 
-  const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
   double* raw() { return data_.data(); }
-  const double* raw() const { return data_.data(); }
+  [[nodiscard]] const double* raw() const { return data_.data(); }
 
   double& operator[](uint64_t flat) { return data_[flat]; }
   double operator[](uint64_t flat) const { return data_[flat]; }

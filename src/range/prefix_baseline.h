@@ -29,7 +29,7 @@ class PrefixSumCube {
   Result<double> RangeSum(const RangeSpec& range,
                           uint64_t* cell_reads = nullptr) const;
 
-  const Tensor& prefix() const { return prefix_; }
+  [[nodiscard]] const Tensor& prefix() const { return prefix_; }
 
  private:
   PrefixSumCube(CubeShape shape, Tensor prefix)

@@ -33,8 +33,11 @@ std::string RangeSpec::ToString() const {
   std::string out = "{";
   for (uint32_t m = 0; m < ndim(); ++m) {
     if (m > 0) out += ", ";
-    out += "[" + std::to_string(start[m]) + ":" +
-           std::to_string(start[m] + width[m]) + ")";
+    out += '[';
+    out += std::to_string(start[m]);
+    out += ':';
+    out += std::to_string(start[m] + width[m]);
+    out += ')';
   }
   out += "}";
   return out;

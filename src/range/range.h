@@ -30,7 +30,7 @@ struct RangeSpec {
                                 std::vector<uint32_t> width,
                                 const CubeShape& shape);
 
-  uint32_t ndim() const { return static_cast<uint32_t>(start.size()); }
+  [[nodiscard]] uint32_t ndim() const { return static_cast<uint32_t>(start.size()); }
 
   /// Number of base cells in the range.
   uint64_t Volume() const;

@@ -56,10 +56,10 @@ class DynamicAssembler {
   /// Forces reselection against the currently observed distribution.
   Status Reconfigure();
 
-  const ElementStore& store() const { return store_; }
-  uint64_t reconfiguration_count() const { return reconfigurations_; }
-  uint64_t queries_served() const { return queries_served_; }
-  const AccessTracker& tracker() const { return tracker_; }
+  [[nodiscard]] const ElementStore& store() const { return store_; }
+  [[nodiscard]] uint64_t reconfiguration_count() const { return reconfigurations_; }
+  [[nodiscard]] uint64_t queries_served() const { return queries_served_; }
+  [[nodiscard]] const AccessTracker& tracker() const { return tracker_; }
 
  private:
   DynamicAssembler(CubeShape shape, DynamicOptions options)

@@ -47,7 +47,7 @@ class Procedure3Calculator {
   Result<std::vector<ElementId>> UsedElements(
       const QueryPopulation& population);
 
-  const std::vector<ElementId>& selected() const { return selected_; }
+  [[nodiscard]] const std::vector<ElementId>& selected() const { return selected_; }
 
  private:
   Procedure3Calculator(const CubeShape& shape,

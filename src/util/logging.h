@@ -1,31 +1,100 @@
-// Minimal CHECK/DCHECK macros (Arrow DCHECK idiom). CHECK aborts on
-// violated invariants in all builds; DCHECK compiles out in NDEBUG.
+// CHECK/DCHECK macros with streamed context (Abseil/glog idiom, minimal).
+//
+//   VECUBE_CHECK(cond);                       // abort with the expression
+//   VECUBE_CHECK(cond) << "ctx " << value;    // abort with expression + msg
+//   VECUBE_CHECK_OK(status) << "ctx";         // abort unless status.ok()
+//   VECUBE_DCHECK(cond) << "ctx";             // debug-only; in NDEBUG the
+//                                             // condition is compiled but
+//                                             // NEVER evaluated (no side
+//                                             // effects run)
+//
+// CHECK aborts on violated invariants in all builds. The streamed message
+// is lazily built: operands after `<<` are only evaluated when the check
+// fails, so a passing check costs one branch.
 
 #ifndef VECUBE_UTIL_LOGGING_H_
 #define VECUBE_UTIL_LOGGING_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
 
 namespace vecube::internal {
 
-[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
-                                     int line) {
-  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
-}
+/// Collects the streamed context of a failing check and aborts in its
+/// destructor. Only ever constructed on the failure path.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* expr, const char* file,
+                     int line)
+      : kind_(kind), expr_(expr), file_(file), line_(line) {}
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  /// Prints "<kind> failed: <expr> at <file>:<line>[: <message>]" to
+  /// stderr and aborts.
+  [[noreturn]] ~CheckFailureStream() {
+    const std::string message = stream_.str();
+    if (message.empty()) {
+      std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind_, expr_, file_,
+                   line_);
+    } else {
+      std::fprintf(stderr, "%s failed: %s at %s:%d: %s\n", kind_, expr_,
+                   file_, line_, message.c_str());
+    }
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* kind_;
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a stream expression so the ternary in VECUBE_CHECK has type
+/// void on both arms. `&&` binds looser than `<<`, so every streamed
+/// operand attaches to the CheckFailureStream first.
+struct Voidify {
+  void operator&&(const std::ostream&) const {}
+};
 
 }  // namespace vecube::internal
 
-#define VECUBE_CHECK(cond)                                         \
-  do {                                                             \
-    if (!(cond)) ::vecube::internal::CheckFailed(#cond, __FILE__, __LINE__); \
-  } while (false)
+/// Aborts (in every build type) when `cond` is false. Additional context
+/// may be streamed: VECUBE_CHECK(n > 0) << "n=" << n;
+#define VECUBE_CHECK(cond)                                        \
+  (cond) ? (void)0                                                \
+         : ::vecube::internal::Voidify() &&                       \
+               ::vecube::internal::CheckFailureStream(            \
+                   "CHECK", #cond, __FILE__, __LINE__)            \
+                   .stream()
+
+/// Aborts unless `expr` (a Status, evaluated exactly once) is OK; the
+/// status's ToString() opens the failure message and further context may
+/// be streamed after the macro. The failure branch never loops: the
+/// stream's destructor aborts.
+#define VECUBE_CHECK_OK(expr)                                         \
+  for (const ::vecube::Status& _vecube_check_ok_st = (expr);          \
+       !_vecube_check_ok_st.ok();)                                   \
+  ::vecube::internal::CheckFailureStream("CHECK_OK", #expr, __FILE__, \
+                                         __LINE__)                   \
+          .stream()                                                  \
+      << _vecube_check_ok_st.ToString() << " "
 
 #ifdef NDEBUG
+// `while (false)` keeps the condition (and any streamed operands)
+// compiled — typos still break the build — but guarantees they are never
+// evaluated, so side effects inside VECUBE_DCHECK vanish in NDEBUG.
 #define VECUBE_DCHECK(cond) \
-  do {                      \
-  } while (false)
+  while (false) VECUBE_CHECK(cond)
 #else
 #define VECUBE_DCHECK(cond) VECUBE_CHECK(cond)
 #endif

@@ -12,9 +12,10 @@
 namespace vecube {
 
 /// Holds either a T or a non-OK Status. Accessing the value of an errored
-/// Result is a programming error (asserted in debug builds).
+/// Result is a programming error (asserted in debug builds). [[nodiscard]]:
+/// a discarded Result hides both the error and the computed value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -23,8 +24,8 @@ class Result {
     assert(!status_.ok() && "Result constructed from OK status without value");
   }
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     assert(ok());

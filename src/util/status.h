@@ -31,8 +31,10 @@ enum class StatusCode : int {
 const char* StatusCodeToString(StatusCode code);
 
 /// Value-semantic status object. An OK status carries no allocation; error
-/// statuses carry a code and message on the heap.
-class Status {
+/// statuses carry a code and message on the heap. [[nodiscard]]: silently
+/// dropping a Status hides failures; callers must check or explicitly
+/// void-cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -63,21 +65,21 @@ class Status {
     return Status(StatusCode::kIncomplete, std::move(msg));
   }
 
-  bool ok() const { return rep_ == nullptr; }
-  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
   /// Error message; empty for OK.
   const std::string& message() const;
 
-  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
-  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
-  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
-  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  [[nodiscard]] bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  [[nodiscard]] bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  [[nodiscard]] bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  [[nodiscard]] bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }
-  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
-  bool IsInternal() const { return code() == StatusCode::kInternal; }
-  bool IsIncomplete() const { return code() == StatusCode::kIncomplete; }
+  [[nodiscard]] bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  [[nodiscard]] bool IsInternal() const { return code() == StatusCode::kInternal; }
+  [[nodiscard]] bool IsIncomplete() const { return code() == StatusCode::kIncomplete; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

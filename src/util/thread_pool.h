@@ -39,7 +39,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  uint32_t num_threads() const { return num_threads_; }
+  [[nodiscard]] uint32_t num_threads() const { return num_threads_; }
 
   /// Invokes fn(begin, end) over disjoint chunks covering [0, n), each at
   /// least `grain` items (except possibly the last). Runs inline when the

@@ -34,8 +34,8 @@ class QueryPopulation {
   static Result<QueryPopulation> Make(std::vector<QuerySpec> queries,
                                       const CubeShape& shape);
 
-  const std::vector<QuerySpec>& queries() const { return queries_; }
-  size_t size() const { return queries_.size(); }
+  [[nodiscard]] const std::vector<QuerySpec>& queries() const { return queries_; }
+  [[nodiscard]] size_t size() const { return queries_.size(); }
   const QuerySpec& operator[](size_t k) const { return queries_[k]; }
 
   /// Draws one view id, weighted by frequency (for trace replay).

@@ -35,8 +35,8 @@ class QueryTrace {
   /// Phases must be non-empty with positive lengths.
   static Result<QueryTrace> Make(std::vector<TracePhase> phases);
 
-  const std::vector<TracePhase>& phases() const { return phases_; }
-  uint64_t total_queries() const { return total_; }
+  [[nodiscard]] const std::vector<TracePhase>& phases() const { return phases_; }
+  [[nodiscard]] uint64_t total_queries() const { return total_; }
 
   /// Materializes the full query sequence (deterministic per seed).
   std::vector<ElementId> Generate(Rng* rng) const;

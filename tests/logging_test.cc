@@ -1,0 +1,83 @@
+// Tests of the CHECK/DCHECK macro family: pass-through behavior, death on
+// violation with streamed context, single evaluation of VECUBE_CHECK_OK
+// operands, and NDEBUG compile-out of VECUBE_DCHECK side effects.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace vecube {
+namespace {
+
+int g_counted_ok_calls = 0;
+
+Status CountedOk() {
+  ++g_counted_ok_calls;
+  return Status::OK();
+}
+
+TEST(LoggingTest, CheckPassesWithoutEvaluatingStream) {
+  int evaluated = 0;
+  VECUBE_CHECK(1 + 1 == 2) << "n=" << ++evaluated;
+  // Streamed operands sit on the failure arm; a passing check must never
+  // touch them.
+  EXPECT_EQ(evaluated, 0);
+}
+
+TEST(LoggingTest, CheckDeathIncludesExpressionAndContext) {
+  EXPECT_DEATH(VECUBE_CHECK(2 < 1) << "ctx " << 42,
+               "CHECK failed: 2 < 1 .*ctx 42");
+}
+
+TEST(LoggingTest, CheckDeathWithoutStreamedContext) {
+  EXPECT_DEATH(VECUBE_CHECK(false), "CHECK failed: false");
+}
+
+TEST(LoggingTest, CheckOkPassesAndEvaluatesOnce) {
+  g_counted_ok_calls = 0;
+  int streamed = 0;
+  VECUBE_CHECK_OK(CountedOk()) << "never " << ++streamed;
+  EXPECT_EQ(g_counted_ok_calls, 1);
+  EXPECT_EQ(streamed, 0);
+}
+
+TEST(LoggingTest, CheckOkDeathIncludesStatusAndContext) {
+  EXPECT_DEATH(
+      VECUBE_CHECK_OK(Status::InvalidArgument("boom")) << "while testing",
+      "CHECK_OK failed: .*InvalidArgument: boom.*while testing");
+}
+
+TEST(LoggingTest, DcheckSideEffectsCompileOutInNdebug) {
+  int n = 0;
+  VECUBE_DCHECK(++n == 1) << "streamed " << ++n;
+#ifdef NDEBUG
+  // The condition and the streamed operands are compiled but never
+  // evaluated: no side effects may run.
+  EXPECT_EQ(n, 0);
+#else
+  // Debug: the condition runs (and passes); the stream arm does not.
+  EXPECT_EQ(n, 1);
+#endif
+}
+
+#ifndef NDEBUG
+TEST(LoggingTest, DcheckDiesInDebugBuilds) {
+  EXPECT_DEATH(VECUBE_DCHECK(false) << "dbg", "CHECK failed: false");
+}
+#endif
+
+TEST(LoggingTest, CheckWorksInsideControlFlow) {
+  // The macros must behave as single statements (no dangling-else traps).
+  int hits = 0;
+  for (int i = 0; i < 3; ++i)
+    if (i % 2 == 0)
+      VECUBE_CHECK(i >= 0) << i;
+    else
+      ++hits;
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,266 @@
+// Race-detection stress tests for the threaded execution paths, designed
+// to run under ThreadSanitizer (the CI TSan job) as well as natively.
+//
+// These tests hammer the three concurrency surfaces introduced with the
+// thread pool: ParallelFor scheduling (including nesting and concurrent
+// external callers), AssembleBatch target fan-out, and the latched
+// shared-subresult cache that must compute every distinct sub-element
+// exactly once. Interleavings are randomized via seeded Rng draws —
+// different chunk sizes, target subsets, and thread counts per round — so
+// repeated runs explore different schedules while staying reproducible.
+// Every round is verified against the serial engine: bit-exact outputs
+// and identical measured op counts, the paper's Procedure-3 invariant.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "core/element_id.h"
+#include "core/graph.h"
+#include "cube/shape.h"
+#include "cube/synthetic.h"
+#include "cube/tensor.h"
+#include "haar/transform.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace vecube {
+namespace {
+
+// Rounds are kept modest: TSan multiplies runtime ~10x and CI runs on
+// small machines. The schedules explored grow with rounds, not with data.
+constexpr int kRounds = 12;
+
+TEST(ThreadPoolStress, ConcurrentExternalCallersRandomizedShapes) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 3;
+  std::vector<std::thread> callers;
+  std::vector<uint64_t> totals(kCallers, 0);
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &totals, &failures, c] {
+      Rng rng(0x5712e55 + static_cast<uint64_t>(c));
+      uint64_t total = 0;
+      for (int round = 0; round < kRounds * 4; ++round) {
+        const uint64_t n = 1 + rng.UniformU64(4000);
+        const uint64_t grain = 1 + rng.UniformU64(64);
+        std::atomic<uint64_t> covered{0};
+        pool.ParallelFor(n, grain, [&covered](uint64_t begin, uint64_t end) {
+          covered.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+        if (covered.load() != n) failures.fetch_add(1);
+        total += covered.load();
+      }
+      totals[c] = total;
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int c = 0; c < kCallers; ++c) EXPECT_GT(totals[c], 0u);
+}
+
+TEST(ThreadPoolStress, NestedLoopsUnderConcurrentCallers) {
+  ThreadPool pool(4);
+  std::vector<std::thread> callers;
+  std::atomic<uint64_t> grand_total{0};
+  for (int c = 0; c < 2; ++c) {
+    callers.emplace_back([&pool, &grand_total, c] {
+      Rng rng(0xae57ed + static_cast<uint64_t>(c));
+      for (int round = 0; round < kRounds; ++round) {
+        const uint64_t inner = 50 + rng.UniformU64(200);
+        std::atomic<uint64_t> total{0};
+        pool.ParallelFor(8, 1, [&pool, &total, inner](uint64_t b, uint64_t e) {
+          for (uint64_t i = b; i < e; ++i) {
+            // Nested loop from inside a pool task: the issuing thread
+            // must claim chunks itself, so this completes even with all
+            // workers busy serving the other caller.
+            pool.ParallelFor(inner, 16,
+                             [&total](uint64_t ib, uint64_t ie) {
+                               total.fetch_add(ie - ib,
+                                               std::memory_order_relaxed);
+                             });
+          }
+        });
+        EXPECT_EQ(total.load(), 8 * inner);
+        grand_total.fetch_add(total.load());
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_GT(grand_total.load(), 0u);
+}
+
+class BatchStressFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto shape = CubeShape::Make({16, 16, 8});
+    ASSERT_TRUE(shape.ok());
+    shape_ = *shape;
+    Rng rng(99);
+    auto cube = UniformIntegerCube(shape_, &rng, -9, 9);
+    ASSERT_TRUE(cube.ok());
+    cube_ = std::move(cube).value();
+    ElementComputer computer(shape_, &cube_);
+    auto store = computer.Materialize(WaveletBasisSet(shape_));
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    // Target universe: every aggregated view plus a band of intermediate
+    // elements, so batches share deep sub-results.
+    targets_ = ViewElementGraph(shape_).AggregatedViews();
+    for (const ElementId& id : ViewElementGraph(shape_).IntermediateElements()) {
+      if (id.TotalLevel() >= 2 && id.TotalLevel() <= 5) targets_.push_back(id);
+    }
+  }
+
+  CubeShape shape_;
+  Tensor cube_;
+  ElementStore store_{CubeShape{}};
+  std::vector<ElementId> targets_;
+};
+
+TEST_F(BatchStressFixture, RandomizedBatchesBitExactAtEveryThreadCount) {
+  AssemblyEngine serial_engine(&store_);
+  Rng rng(0xba7c4);
+  for (int round = 0; round < kRounds; ++round) {
+    // Random overlapping subset, with deliberate duplicates.
+    std::vector<ElementId> batch;
+    const uint64_t batch_size = 3 + rng.UniformU64(10);
+    for (uint64_t i = 0; i < batch_size; ++i) {
+      batch.push_back(targets_[rng.UniformU64(targets_.size())]);
+    }
+    batch.push_back(batch.front());
+
+    OpCounter serial_ops;
+    auto serial_out = serial_engine.AssembleBatch(batch, &serial_ops);
+    ASSERT_TRUE(serial_out.ok());
+
+    const uint32_t threads = 2 + static_cast<uint32_t>(rng.UniformU64(5));
+    ThreadPool pool(threads);
+    AssemblyEngine pooled_engine(&store_, &pool);
+    OpCounter pooled_ops;
+    auto pooled_out = pooled_engine.AssembleBatch(batch, &pooled_ops);
+    ASSERT_TRUE(pooled_out.ok());
+
+    ASSERT_EQ(serial_out->size(), pooled_out->size());
+    for (size_t i = 0; i < serial_out->size(); ++i) {
+      ASSERT_EQ((*serial_out)[i].data(), (*pooled_out)[i].data())
+          << "round " << round << " target " << i << " threads " << threads;
+    }
+    ASSERT_EQ(serial_ops.adds, pooled_ops.adds)
+        << "round " << round << " threads " << threads;
+  }
+}
+
+TEST_F(BatchStressFixture, LatchedCacheContentionManyDuplicateTargets) {
+  // Every target identical: maximal contention on the cache latch — the
+  // first thread computes, everyone else must block, not recompute. Op
+  // counts equal to a single-target batch prove exactly-once execution.
+  AssemblyEngine serial_engine(&store_);
+  const ElementId hot = targets_.back();
+  OpCounter once_ops;
+  auto once = serial_engine.AssembleBatch({hot}, &once_ops);
+  ASSERT_TRUE(once.ok());
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    AssemblyEngine engine(&store_, &pool);
+    std::vector<ElementId> batch(16, hot);
+    OpCounter ops;
+    auto out = engine.AssembleBatch(batch, &ops);
+    ASSERT_TRUE(out.ok());
+    for (const Tensor& t : *out) {
+      ASSERT_EQ(t.data(), (*once)[0].data()) << threads;
+    }
+    EXPECT_EQ(ops.adds, once_ops.adds) << threads;
+  }
+}
+
+TEST_F(BatchStressFixture, ConcurrentEnginesSharingOnePool) {
+  // Separate engines (each with private memo tables) over the same store
+  // and the same pool, driven from concurrent external threads: exercises
+  // pool task interleaving between unrelated batches.
+  ThreadPool pool(4);
+  AssemblyEngine reference(&store_);
+  std::vector<Tensor> expected;
+  for (const ElementId& id : targets_) {
+    auto t = reference.Assemble(id);
+    ASSERT_TRUE(t.ok());
+    expected.push_back(std::move(t).value());
+  }
+
+  constexpr int kCallers = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([this, &pool, &expected, &mismatches, c] {
+      Rng rng(0xc0ffee + static_cast<uint64_t>(c));
+      AssemblyEngine engine(&store_, &pool);
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<ElementId> batch;
+        std::vector<size_t> picks;
+        const uint64_t batch_size = 2 + rng.UniformU64(6);
+        for (uint64_t i = 0; i < batch_size; ++i) {
+          picks.push_back(rng.UniformU64(targets_.size()));
+          batch.push_back(targets_[picks.back()]);
+        }
+        auto out = engine.AssembleBatch(batch);
+        if (!out.ok()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if ((*out)[i].data() != expected[picks[i]].data()) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(KernelStress, ThreadedKernelsUnderConcurrentCallers) {
+  // Tensors above kParallelKernelCells so the kernels take the threaded
+  // row-loop path while two external threads contend for the same pool.
+  auto shape = CubeShape::Make({64, 32, 16});
+  ASSERT_TRUE(shape.ok());
+  Rng rng(1234);
+  auto cube = UniformIntegerCube(*shape, &rng, -9, 9);
+  ASSERT_TRUE(cube.ok());
+  ASSERT_GE(cube->size(), kParallelKernelCells);
+
+  Tensor sp, sr;
+  ASSERT_TRUE(PartialPair(*cube, 0, &sp, &sr).ok());
+
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 2; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        Tensor p, r;
+        if (!PartialPair(*cube, 0, &p, &r, nullptr, &pool).ok() ||
+            p.data() != sp.data() || r.data() != sr.data()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        auto back = SynthesizePair(p, r, 0, nullptr, &pool);
+        if (!back.ok() || back->data() != cube->data()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace vecube

@@ -38,7 +38,8 @@ TEST(SyntheticTest, SparseRandomCubeDensity) {
   for (uint64_t i = 0; i < cube->size(); ++i) {
     if ((*cube)[i] != 0.0) ++nonzero;
   }
-  const double density = static_cast<double>(nonzero) / cube->size();
+  const double density =
+      static_cast<double>(nonzero) / static_cast<double>(cube->size());
   EXPECT_NEAR(density, 0.1, 0.03);
 }
 

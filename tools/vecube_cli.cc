@@ -64,12 +64,12 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
-    arg = arg.substr(2);
+    arg.erase(0, 2);
+    std::string value = "1";  // boolean flag unless a value follows
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      flags[arg] = argv[++i];
-    } else {
-      flags[arg] = "1";  // boolean flag
+      value = argv[++i];
     }
+    flags[arg] = std::move(value);
   }
   return flags;
 }

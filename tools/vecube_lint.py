@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""vecube_lint: repo conventions that clang-tidy cannot express.
+
+Rules (each can be suppressed on a single line with a trailing
+``// vecube-lint: disable=<rule>`` comment):
+
+  header-guard      Every header under src/ uses the canonical include
+                    guard VECUBE_<DIR>_<FILE>_H_ (ifndef/define pair and a
+                    matching ``#endif  // <guard>`` trailer).
+  no-stdio          No printf/fprintf/cout/cerr/puts in library code
+                    (src/ outside src/util/) or in tests/. Benchmark
+                    drivers (bench/) and CLI tools (tools/) are reporting
+                    executables and ARE the output, so they may print;
+                    src/util/ hosts the logging sink itself.
+  no-naked-new      No naked ``new``/``delete``. ``new`` is allowed only
+                    when directly handed to a smart pointer
+                    (unique_ptr/shared_ptr construction on the same
+                    statement); ``delete`` expressions are banned outright
+                    (``= delete`` declarations are fine).
+  no-nondeterminism src/core/ and src/haar/ must stay bit-reproducible:
+                    std::rand, srand, random_device, time(), clock(),
+                    gettimeofday, system_clock, high_resolution_clock and
+                    getenv are banned there (util/rng.h is the only
+                    sanctioned randomness).
+  nodiscard-status  Status and Result<T> must carry a class-level
+                    [[nodiscard]] in src/util/status.h / src/util/result.h
+                    — that is what makes EVERY function returning them
+                    discard-checked, with no per-declaration attribute to
+                    forget.
+
+Usage:
+  tools/vecube_lint.py [--root DIR] [--list-rules] [paths...]
+
+Exits 0 when clean, 1 when any finding is reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src", "tests", "bench", "tools")
+CC_SUFFIXES = {".cc", ".h"}
+
+DISABLE_RE = re.compile(r"//\s*vecube-lint:\s*disable=([\w,-]+)")
+
+STDIO_RE = re.compile(
+    r"\b(?:std::)?(?:printf|fprintf|vprintf|vfprintf|puts|putchar)\s*\("
+    r"|\bstd::(?:cout|cerr|clog)\b"
+)
+
+NONDET_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand|time|clock|gettimeofday|getenv)\s*\("
+    r"|\bstd::random_device\b"
+    r"|\bstd::chrono::(?:system_clock|high_resolution_clock)\b"
+)
+
+NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new T`, not `operator new(`
+DELETE_EXPR_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w:(*]")
+SMART_PTR_RE = re.compile(r"\b(?:unique_ptr|shared_ptr|make_unique|make_shared)\b")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_code_lines(text: str):
+    """Yields (lineno, line, stripped-of-line-comments) skipping block
+    comments and raw-string contents conservatively."""
+    in_block = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line
+        if in_block:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block = False
+        # Strip block comments opened (and possibly closed) on this line.
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block = True
+                break
+            code = code[:start] + code[end + 2:]
+        # Keep the line-comment text separate: suppressions live there.
+        comment_pos = code.find("//")
+        stripped = code[:comment_pos] if comment_pos >= 0 else code
+        yield lineno, line, stripped
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = DISABLE_RE.search(line)
+    if not m:
+        return False
+    return rule in m.group(1).split(",")
+
+
+def expected_guard(path: Path, root: Path) -> str:
+    rel = path.relative_to(root)
+    parts = [p.upper().replace("-", "_").replace(".", "_") for p in rel.parts]
+    return "VECUBE_" + "_".join(parts[1:-1] + [rel.stem.upper(), "H_"]) \
+        if len(parts) > 2 else "VECUBE_" + rel.stem.upper() + "_H_"
+
+
+def check_header_guard(path: Path, root: Path, text: str, findings: list):
+    rel = path.relative_to(root)
+    if rel.parts[0] != "src" or path.suffix != ".h":
+        return
+    guard = expected_guard(path, root)
+    ifndef = re.search(r"^#ifndef\s+(\S+)\s*$", text, re.MULTILINE)
+    define = re.search(r"^#define\s+(\S+)\s*$", text, re.MULTILINE)
+    if not ifndef or ifndef.group(1) != guard:
+        findings.append(Finding(rel, 1, "header-guard",
+                                f"expected include guard {guard}"))
+        return
+    if not define or define.group(1) != guard:
+        findings.append(Finding(rel, 1, "header-guard",
+                                f"#define does not match guard {guard}"))
+        return
+    trailer = f"#endif  // {guard}"
+    if trailer not in text:
+        findings.append(Finding(rel, 1, "header-guard",
+                                f"missing trailing '{trailer}'"))
+
+
+def check_lines(path: Path, root: Path, text: str, findings: list):
+    rel = path.relative_to(root)
+    top = rel.parts[0]
+    in_util = top == "src" and len(rel.parts) > 1 and rel.parts[1] == "util"
+    stdio_banned = (top == "src" and not in_util) or top == "tests"
+    nondet_banned = (top == "src" and len(rel.parts) > 1
+                     and rel.parts[1] in ("core", "haar"))
+
+    prev_code = ""
+    for lineno, raw, code in iter_code_lines(text):
+        if stdio_banned and STDIO_RE.search(code) \
+                and not suppressed(raw, "no-stdio"):
+            findings.append(Finding(rel, lineno, "no-stdio",
+                                    "stdio output in library/test code; "
+                                    "route through util/ or gtest"))
+        if nondet_banned and NONDET_RE.search(code) \
+                and not suppressed(raw, "no-nondeterminism"):
+            findings.append(Finding(rel, lineno, "no-nondeterminism",
+                                    "non-deterministic call in "
+                                    "determinism-critical directory; use "
+                                    "util/rng.h"))
+        # "Same statement" across a line break: a smart-pointer wrapper on
+        # the previous line (continuation) still owns this `new`.
+        statement = prev_code + " " + code if not prev_code.rstrip() \
+            .endswith((";", "}", "{")) else code
+        if NEW_RE.search(code) and not SMART_PTR_RE.search(statement) \
+                and not suppressed(raw, "no-naked-new"):
+            findings.append(Finding(rel, lineno, "no-naked-new",
+                                    "naked new; hand it to unique_ptr/"
+                                    "shared_ptr on the same statement"))
+        if DELETE_EXPR_RE.search(code) and not suppressed(raw, "no-naked-new"):
+            findings.append(Finding(rel, lineno, "no-naked-new",
+                                    "delete expression; owners must be "
+                                    "smart pointers or containers"))
+        prev_code = code
+
+
+def check_nodiscard_status(root: Path, findings: list):
+    for rel_name, class_name in (("src/util/status.h", "Status"),
+                                 ("src/util/result.h", "Result")):
+        path = root / rel_name
+        if not path.exists():
+            findings.append(Finding(Path(rel_name), 1, "nodiscard-status",
+                                    "file missing"))
+            continue
+        text = path.read_text()
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+" + class_name, text):
+            findings.append(Finding(
+                Path(rel_name), 1, "nodiscard-status",
+                f"{class_name} must be declared 'class [[nodiscard]] "
+                f"{class_name}' so every function returning it is "
+                "discard-checked"))
+
+
+def collect_files(root: Path, paths: list) -> list:
+    if paths:
+        files = []
+        for p in paths:
+            candidate = Path(p)
+            if not candidate.is_absolute():
+                candidate = root / candidate
+            if candidate.is_dir():
+                files.extend(sorted(f for f in candidate.rglob("*")
+                                    if f.suffix in CC_SUFFIXES))
+            elif candidate.suffix in CC_SUFFIXES:
+                files.append(candidate)
+        return files
+    files = []
+    for d in LINT_DIRS:
+        base = root / d
+        if base.is_dir():
+            files.extend(sorted(f for f in base.rglob("*")
+                                if f.suffix in CC_SUFFIXES))
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src tests "
+                             "bench tools)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("header-guard no-stdio no-naked-new no-nondeterminism "
+              "nodiscard-status")
+        return 0
+
+    root = Path(args.root).resolve() if args.root \
+        else Path(__file__).resolve().parent.parent
+
+    findings: list = []
+    for path in collect_files(root, args.paths):
+        try:
+            text = path.read_text()
+        except (OSError, UnicodeDecodeError) as err:
+            findings.append(Finding(path.relative_to(root), 1, "io",
+                                    f"unreadable: {err}"))
+            continue
+        check_header_guard(path, root, text, findings)
+        check_lines(path, root, text, findings)
+    check_nodiscard_status(root, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"vecube_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("vecube_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
