@@ -1,13 +1,43 @@
 #include "api/session.h"
 
+#include <algorithm>
+
 #include "core/basis.h"
 #include "core/computer.h"
 #include "core/update.h"
 #include "select/algorithm1.h"
 #include "select/algorithm2.h"
+#include "util/io_file.h"
 #include "util/logging.h"
 
 namespace vecube {
+
+namespace {
+
+// File set inside DurabilityOptions::directory. Each snapshot records the
+// last WAL lsn it folded in, so the components recover independently: a
+// crash between checkpoint renames leaves them at different seqs, and
+// replay applies to each component exactly the records it is missing.
+constexpr char kStoreFile[] = "store.vecube";
+constexpr char kCubeFile[] = "cube.vecube";
+constexpr char kCountStoreFile[] = "store.count.vecube";
+constexpr char kCountCubeFile[] = "cube.count.vecube";
+constexpr char kWalFile[] = "wal.log";
+
+std::string JoinPath(const std::string& dir, const char* file) {
+  if (!dir.empty() && dir.back() == '/') return dir + file;
+  return dir + "/" + file;
+}
+
+// Extracts the root element out of a base-cube snapshot store.
+Result<Tensor> TakeRoot(ElementStore* store) {
+  Tensor* root;
+  VECUBE_ASSIGN_OR_RETURN(
+      root, store->GetMutable(ElementId::Root(store->shape().ndim())));
+  return std::move(*root);
+}
+
+}  // namespace
 
 OlapSession::OlapSession(CubeShape shape, Tensor cube, Options options)
     : shape_(std::move(shape)),
@@ -37,6 +67,7 @@ Status OlapSession::VerifyFullState() {
 Status OlapSession::VerifyAfterUpdate() {
   if (checker_ == nullptr) return Status::OK();
   VECUBE_RETURN_NOT_OK(checker_->CheckElementBounds(store_));
+  VECUBE_RETURN_NOT_OK(checker_->CheckStoreAccounting(store_));
   VECUBE_RETURN_NOT_OK(checker_->CheckStoreConsistency(store_, cube_));
   if (count_store_.has_value()) {
     VECUBE_RETURN_NOT_OK(
@@ -78,6 +109,9 @@ Result<std::unique_ptr<OlapSession>> OlapSession::FromCube(
   }
   session->RebuildEngines();
   VECUBE_RETURN_NOT_OK(session->VerifyFullState());
+  if (options.durability.enabled) {
+    VECUBE_RETURN_NOT_OK(session->InitDurability());
+  }
   return session;
 }
 
@@ -103,8 +137,260 @@ Result<std::unique_ptr<OlapSession>> OlapSession::FromRelation(
     session->count_store_ = std::move(count_store);
     session->RebuildEngines();
     VECUBE_RETURN_NOT_OK(session->VerifyFullState());
+    if (options.durability.enabled) {
+      // FromCube checkpointed before the COUNT side held real data;
+      // refresh the on-disk state to match.
+      VECUBE_RETURN_NOT_OK(session->Checkpoint());
+    }
   }
   return session;
+}
+
+Status OlapSession::InitDurability() {
+  const DurabilityOptions& d = options_.durability;
+  if (d.directory.empty()) {
+    return Status::InvalidArgument(
+        "durability.directory must be set when durability is enabled");
+  }
+  // Fresh start: a stale log from a previous incarnation (possibly a
+  // different shape) is discarded, not replayed — reopening existing
+  // durable state is OpenDurable()'s job.
+  const std::string wal_path = JoinPath(d.directory, kWalFile);
+  RemoveFileIfExists(wal_path);
+  Result<WriteAheadLog> wal =
+      WriteAheadLog::Open(wal_path, shape_, nullptr, d.sync_each_append);
+  VECUBE_RETURN_NOT_OK(wal.status());
+  wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+  return Checkpoint();
+}
+
+Status OlapSession::SaveCubeSnapshot(const std::string& path,
+                                     const Tensor& cube,
+                                     uint64_t wal_seq) const {
+  ElementStore snap(shape_);
+  VECUBE_RETURN_NOT_OK(snap.Put(ElementId::Root(shape_.ndim()), cube));
+  SnapshotMeta meta;
+  meta.wal_seq = wal_seq;
+  meta.flags = kSnapshotRootIsCube;
+  return SaveStoreV2(snap, path, meta);
+}
+
+Status OlapSession::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "durability is not enabled for this session");
+  }
+  // Quarantined elements carry no data to persist; repair before
+  // checkpointing to keep them in the materialized set.
+  const std::string& dir = options_.durability.directory;
+  const uint64_t seq = wal_->last_lsn();
+  SnapshotMeta meta;
+  meta.wal_seq = seq;
+  VECUBE_RETURN_NOT_OK(SaveCubeSnapshot(JoinPath(dir, kCubeFile), cube_, seq));
+  VECUBE_RETURN_NOT_OK(SaveStoreV2(store_, JoinPath(dir, kStoreFile), meta));
+  if (count_cube_.has_value()) {
+    VECUBE_RETURN_NOT_OK(
+        SaveCubeSnapshot(JoinPath(dir, kCountCubeFile), *count_cube_, seq));
+    VECUBE_RETURN_NOT_OK(
+        SaveStoreV2(*count_store_, JoinPath(dir, kCountStoreFile), meta));
+  }
+  // Every snapshot now durably records seq; records up to it can go. A
+  // crash before this point replays onto the old snapshots; after it, the
+  // new ones skip everything.
+  VECUBE_RETURN_NOT_OK(wal_->Reset());
+  ++stats_.checkpoints;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<OlapSession>> OlapSession::OpenDurable(
+    Options options) {
+  const DurabilityOptions& d = options.durability;
+  if (!d.enabled || d.directory.empty()) {
+    return Status::InvalidArgument(
+        "OpenDurable requires durability.enabled and a directory");
+  }
+  if (options.access_decay <= 0.0 || options.access_decay > 1.0) {
+    return Status::InvalidArgument("access_decay must be in (0, 1]");
+  }
+
+  // The SUM element store is the shape authority. Per-element corruption
+  // comes back as quarantine marks, not as a load failure.
+  SnapshotReport store_report;
+  Result<ElementStore> loaded =
+      LoadStoreV2(JoinPath(d.directory, kStoreFile), &store_report);
+  VECUBE_RETURN_NOT_OK(loaded.status());
+  ElementStore store = std::move(loaded).value();
+  const CubeShape shape = store.shape();
+  const uint64_t store_seq = store_report.meta.wal_seq;
+
+  // The base cube snapshot; when it is unusable, self-heal by assembling
+  // the root from the element store's healthy residents.
+  Tensor cube;
+  uint64_t cube_seq = 0;
+  bool cube_loaded = false;
+  {
+    SnapshotReport cube_report;
+    Result<ElementStore> cube_store =
+        LoadStoreV2(JoinPath(d.directory, kCubeFile), &cube_report);
+    if (cube_store.ok() &&
+        cube_store->shape().extents() == shape.extents()) {
+      Result<Tensor> root = TakeRoot(&*cube_store);
+      if (root.ok()) {
+        cube = std::move(root).value();
+        cube_seq = cube_report.meta.wal_seq;
+        cube_loaded = true;
+      }
+    }
+  }
+  if (!cube_loaded) {
+    AssemblyEngine engine(&store);
+    Result<Tensor> rebuilt = engine.Assemble(ElementId::Root(shape.ndim()));
+    if (!rebuilt.ok()) {
+      return Status::Internal(
+          "base cube snapshot is unusable and the element store cannot "
+          "reconstruct it: " +
+          rebuilt.status().ToString());
+    }
+    cube = std::move(rebuilt).value();
+    // The assembled cube is exactly as current as the store it came from.
+    cube_seq = store_seq;
+  }
+
+  std::unique_ptr<OlapSession> session(
+      new OlapSession(shape, std::move(cube), options));
+  session->store_ = std::move(store);
+
+  // COUNT side, when requested: same snapshot + fallback structure.
+  uint64_t count_store_seq = 0;
+  uint64_t count_cube_seq = 0;
+  if (options.maintain_count_cube) {
+    SnapshotReport count_report;
+    Result<ElementStore> count_store =
+        LoadStoreV2(JoinPath(d.directory, kCountStoreFile), &count_report);
+    VECUBE_RETURN_NOT_OK(count_store.status());
+    if (count_store->shape().extents() != shape.extents()) {
+      return Status::Internal("COUNT store shape disagrees with SUM store");
+    }
+    count_store_seq = count_report.meta.wal_seq;
+    Tensor count_cube;
+    bool count_cube_loaded = false;
+    {
+      SnapshotReport ccube_report;
+      Result<ElementStore> ccube_store =
+          LoadStoreV2(JoinPath(d.directory, kCountCubeFile), &ccube_report);
+      if (ccube_store.ok() &&
+          ccube_store->shape().extents() == shape.extents()) {
+        Result<Tensor> root = TakeRoot(&*ccube_store);
+        if (root.ok()) {
+          count_cube = std::move(root).value();
+          count_cube_seq = ccube_report.meta.wal_seq;
+          count_cube_loaded = true;
+        }
+      }
+    }
+    if (!count_cube_loaded) {
+      AssemblyEngine engine(&*count_store);
+      Result<Tensor> rebuilt =
+          engine.Assemble(ElementId::Root(shape.ndim()));
+      if (!rebuilt.ok()) {
+        return Status::Internal(
+            "COUNT cube snapshot is unusable and the COUNT store cannot "
+            "reconstruct it: " +
+            rebuilt.status().ToString());
+      }
+      count_cube = std::move(rebuilt).value();
+      count_cube_seq = count_store_seq;
+    }
+    session->count_cube_ = std::move(count_cube);
+    session->count_store_ = std::move(count_store).value();
+  }
+
+  // Open the WAL and replay the committed suffix onto each component,
+  // skipping what its snapshot already folded in.
+  uint64_t min_seq = std::min(store_seq, cube_seq);
+  uint64_t max_seq = std::max(store_seq, cube_seq);
+  if (options.maintain_count_cube) {
+    min_seq = std::min({min_seq, count_store_seq, count_cube_seq});
+    max_seq = std::max({max_seq, count_store_seq, count_cube_seq});
+  }
+  WalScan scan;
+  Result<WriteAheadLog> wal = WriteAheadLog::Open(
+      JoinPath(d.directory, kWalFile), shape, &scan, d.sync_each_append,
+      /*create_base_lsn=*/max_seq + 1);
+  VECUBE_RETURN_NOT_OK(wal.status());
+  if (scan.base_lsn > min_seq + 1) {
+    return Status::Internal(
+        "WAL gap: log starts at lsn " + std::to_string(scan.base_lsn) +
+        " but a snapshot has only folded in lsn " + std::to_string(min_seq));
+  }
+  if (wal->last_lsn() < max_seq) {
+    return Status::Internal(
+        "WAL ends at lsn " + std::to_string(wal->last_lsn()) +
+        " but a snapshot claims lsn " + std::to_string(max_seq) +
+        " was logged; the log was replaced or rolled back");
+  }
+  for (const WalRecord& record : scan.records) {
+    const std::vector<uint32_t>& coords = record.delta.coords;
+    if (record.lsn > cube_seq) {
+      session->cube_[session->cube_.FlatIndex(coords)] += record.delta.delta;
+    }
+    if (record.lsn > store_seq) {
+      VECUBE_RETURN_NOT_OK(
+          ApplyPointDelta(&session->store_, coords, record.delta.delta));
+    }
+    if (session->count_cube_.has_value()) {
+      if (record.lsn > count_cube_seq) {
+        (*session->count_cube_)[session->count_cube_->FlatIndex(coords)] +=
+            1.0;
+      }
+      if (record.lsn > count_store_seq) {
+        VECUBE_RETURN_NOT_OK(
+            ApplyPointDelta(&*session->count_store_, coords, 1.0));
+      }
+    }
+    ++session->stats_.wal_replayed;
+  }
+  session->wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+  session->RebuildEngines();
+  VECUBE_RETURN_NOT_OK(session->VerifyFullState());
+  return session;
+}
+
+Result<RepairReport> OlapSession::Repair() {
+  RepairReport report;
+  const ElementId root = ElementId::Root(shape_.ndim());
+  // The in-memory base cube is authoritative for the root element: it was
+  // recovered (and WAL-replayed) independently of the store snapshot.
+  if (store_.IsQuarantined(root)) {
+    VECUBE_RETURN_NOT_OK(store_.Put(root, cube_));
+    report.repaired.push_back(root);
+  }
+  RepairReport sum_report;
+  VECUBE_ASSIGN_OR_RETURN(sum_report, RepairStore(&store_, pool_.get()));
+  report.repaired.insert(report.repaired.end(), sum_report.repaired.begin(),
+                         sum_report.repaired.end());
+  report.unrepaired = std::move(sum_report.unrepaired);
+  report.assembly_ops += sum_report.assembly_ops;
+  if (count_store_.has_value()) {
+    if (count_store_->IsQuarantined(root)) {
+      VECUBE_RETURN_NOT_OK(count_store_->Put(root, *count_cube_));
+      report.repaired.push_back(root);
+    }
+    RepairReport count_report;
+    VECUBE_ASSIGN_OR_RETURN(count_report,
+                            RepairStore(&*count_store_, pool_.get()));
+    report.repaired.insert(report.repaired.end(),
+                           count_report.repaired.begin(),
+                           count_report.repaired.end());
+    report.unrepaired.insert(report.unrepaired.end(),
+                             count_report.unrepaired.begin(),
+                             count_report.unrepaired.end());
+    report.assembly_ops += count_report.assembly_ops;
+  }
+  std::sort(report.repaired.begin(), report.repaired.end());
+  RebuildEngines();
+  VECUBE_RETURN_NOT_OK(VerifyFullState());
+  return report;
 }
 
 void OlapSession::RebuildEngines() {
@@ -171,6 +457,11 @@ Status OlapSession::Optimize() {
   RebuildEngines();
   ++stats_.optimizations;
   VECUBE_RETURN_NOT_OK(VerifyFullState());
+  if (wal_ != nullptr) {
+    // The element set changed wholesale; a recovery replay onto the old
+    // snapshot would resurrect it, so fold the new one in now.
+    VECUBE_RETURN_NOT_OK(Checkpoint());
+  }
   return Status::OK();
 }
 
@@ -184,6 +475,18 @@ Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
       return Status::OutOfRange("coordinate outside cube extent");
     }
   }
+  if (wal_ != nullptr) {
+    // Write-ahead: the fact is durable before anything mutates, so a
+    // crash at any later point replays it; a failed append mutates
+    // nothing, so memory and disk stay consistent either way.
+    CellDelta delta;
+    delta.coords = coords;
+    delta.delta = amount;
+    uint64_t lsn;
+    VECUBE_ASSIGN_OR_RETURN(lsn, wal_->Append(delta));
+    (void)lsn;
+    ++stats_.wal_appends;
+  }
   cube_[cube_.FlatIndex(coords)] += amount;
   VECUBE_RETURN_NOT_OK(ApplyPointDelta(&store_, coords, amount));
   if (count_cube_.has_value()) {
@@ -193,6 +496,10 @@ Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
   // Element data changed in place; plans (which depend only on which
   // elements exist) remain valid, so no engine invalidation is needed.
   VECUBE_RETURN_NOT_OK(VerifyAfterUpdate());
+  if (wal_ != nullptr && options_.durability.checkpoint_every > 0 &&
+      wal_->records_in_log() >= options_.durability.checkpoint_every) {
+    VECUBE_RETURN_NOT_OK(Checkpoint());
+  }
   return Status::OK();
 }
 

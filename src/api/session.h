@@ -21,8 +21,11 @@
 #include <vector>
 
 #include "core/assembly.h"
+#include "core/io.h"
+#include "core/repair.h"
 #include "core/store.h"
 #include "core/tracker.h"
+#include "core/wal.h"
 #include "cube/cube_builder.h"
 #include "cube/relation.h"
 #include "cube/shape.h"
@@ -42,6 +45,24 @@ struct SessionStats {
   uint64_t range_queries = 0;
   uint64_t range_cell_reads = 0;
   uint64_t optimizations = 0;      ///< times Optimize() rebuilt the store
+  uint64_t wal_appends = 0;        ///< facts made durable before applying
+  uint64_t wal_replayed = 0;       ///< records re-applied by OpenDurable()
+  uint64_t checkpoints = 0;        ///< successful Checkpoint() calls
+};
+
+/// Durability configuration. Off by default: a session without durability
+/// behaves exactly as before (no WAL, no snapshot files, no extra I/O).
+struct DurabilityOptions {
+  /// Master switch. When on, `directory` must name an existing directory;
+  /// the session keeps its snapshot, base-cube, and WAL files there.
+  bool enabled = false;
+  std::string directory;
+  /// fsync the WAL on every AddFact (full write-ahead durability). Off
+  /// trades the fsync for throughput: a crash may lose the OS-buffered
+  /// tail, but never corrupts what was flushed.
+  bool sync_each_append = true;
+  /// Auto-Checkpoint() after this many WAL records (0 = manual only).
+  uint64_t checkpoint_every = 0;
 };
 
 /// Session construction options.
@@ -56,6 +77,9 @@ struct OlapSessionOptions {
   double access_decay = 0.98;
   /// Maintain a parallel COUNT cube/store so AvgByMask() is available.
   bool maintain_count_cube = false;
+  /// Crash durability: WAL-before-apply on AddFact, checkpoint snapshots,
+  /// OpenDurable() recovery. See DurabilityOptions.
+  DurabilityOptions durability = {};
   /// Execution lanes for assembly (Haar kernels chunk their row loops,
   /// batch assembly fans out across targets). 0 = hardware concurrency;
   /// 1 = fully serial, bit- and count-identical to the single-threaded
@@ -90,6 +114,27 @@ class OlapSession {
       const Relation& relation, const CubeShape& shape,
       const CubeBuildOptions& build_options = {}, Options options = {});
 
+  /// Reopens a durable session from options.durability.directory: loads
+  /// the checkpoint snapshots, replays the committed WAL suffix onto each
+  /// component (idempotently — each snapshot records the lsn it folded
+  /// in, so a crash between checkpoint renames double-applies nothing),
+  /// and truncates any torn WAL tail. Elements whose snapshot payload
+  /// failed its checksum come back *quarantined*: the session keeps
+  /// serving everything assemblable without them, and Repair() re-derives
+  /// them. Fails only when the damage is global (unreadable directory or
+  /// snapshot structure, base cube unrecoverable, WAL/lsn sequence gap).
+  static Result<std::unique_ptr<OlapSession>> OpenDurable(Options options);
+
+  /// Folds the current state into fresh snapshot files (written atomically
+  /// via temp + rename) and truncates the WAL. Requires durability.
+  Status Checkpoint();
+
+  /// Re-derives quarantined elements (SUM and COUNT sides) from healthy
+  /// ones via dynamic assembly; see RepairStore. The base cube is
+  /// authoritative for a quarantined root element. Requires nothing —
+  /// callable on any session; a clean store yields an empty report.
+  Result<RepairReport> Repair();
+
   /// Declares the expected query distribution; used by Optimize().
   Status DeclareWorkload(QueryPopulation population);
 
@@ -122,12 +167,25 @@ class OlapSession {
   [[nodiscard]] const ElementStore& store() const { return store_; }
   [[nodiscard]] const SessionStats& stats() const { return stats_; }
   [[nodiscard]] const Tensor& cube() const { return cube_; }
+  /// True when durability is active (a WAL is open).
+  [[nodiscard]] bool durable() const { return wal_ != nullptr; }
+  /// Lsn of the last durable fact; 0 before any. Requires durable().
+  [[nodiscard]] uint64_t last_lsn() const {
+    return wal_ != nullptr ? wal_->last_lsn() : 0;
+  }
   /// Violation accounting when Options::verify_invariants is on; null
   /// otherwise.
   [[nodiscard]] const InvariantChecker* invariant_checker() const { return checker_.get(); }
 
  private:
   OlapSession(CubeShape shape, Tensor cube, Options options);
+
+  /// Opens (or creates) the WAL and writes the initial checkpoint; called
+  /// by the fresh-start constructors when durability is requested.
+  Status InitDurability();
+  /// Saves `cube` as a single-root-element v2 snapshot at `path`.
+  Status SaveCubeSnapshot(const std::string& path, const Tensor& cube,
+                          uint64_t wal_seq) const;
 
   void RebuildEngines();
   /// Full invariant sweep (bounds, round trip, splits, consistency,
@@ -151,6 +209,7 @@ class OlapSession {
   std::unique_ptr<RangeEngine> range_engine_;
   AccessTracker tracker_;
   std::optional<QueryPopulation> declared_workload_;
+  std::unique_ptr<WriteAheadLog> wal_;  // null unless durability enabled
   SessionStats stats_;
   std::unique_ptr<InvariantChecker> checker_;  // null when verification off
 };

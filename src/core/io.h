@@ -3,31 +3,101 @@
 // A production deployment selects a view element set once (or rarely) and
 // serves queries from it across process restarts; these helpers write and
 // read the complete store — shape, element ids, and cell data — in a
-// simple versioned little-endian binary format.
+// versioned little-endian binary format. Two format versions exist:
 //
-// Layout:
-//   magic "VECUBE01" (8 bytes)
+// v1 ("VECUBE01") — legacy, no checksums:
+//   magic (8 bytes)
 //   u32 ndim, u32 extents[ndim]
 //   u64 element_count
 //   per element: u32 (level, offset)[ndim], u64 cell_count,
 //                f64 cells[cell_count]
+//
+// v2 ("VECUBE02") — checksummed, degradable:
+//   magic (8 bytes)
+//   u32 ndim, u32 extents[ndim]
+//   u64 element_count
+//   u64 wal_seq            (last WAL lsn folded into this snapshot)
+//   u32 flags              (application bits, see SnapshotMeta)
+//   u32 header_crc         (masked CRC32C of all preceding bytes)
+//   directory, element_count entries:
+//     u32 (level, offset)[ndim], u64 cell_count, u32 data_crc (masked)
+//   u32 directory_crc      (masked CRC32C of the directory bytes)
+//   data: f64 cells[...] concatenated in directory order
+//
+// The header and directory are each covered by a section CRC; every
+// element's payload is covered by its own CRC. A v2 load can therefore
+// localize damage: a bad element is *quarantined* in the returned store
+// (core/store.h) and reported per-element, while every healthy element
+// keeps serving — the degraded mode that RepairStore (core/repair.h)
+// heals via dynamic assembly. Only header/directory damage, which removes
+// the ability to even locate elements, fails the whole load.
+//
+// Both writers are crash-safe: data goes to "<path>.tmp", is fsynced, and
+// is atomically renamed over the destination, so a crash at any point
+// leaves either the complete old snapshot or the complete new one.
+// Failpoints (util/failpoint.h): "snapshot", "snapshot.sync",
+// "snapshot.rename".
 
 #ifndef VECUBE_CORE_IO_H_
 #define VECUBE_CORE_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/store.h"
 #include "util/result.h"
 
 namespace vecube {
 
-/// Writes the store to `path`, replacing any existing file.
+/// Application metadata carried (checksummed) in a v2 snapshot header.
+struct SnapshotMeta {
+  /// Last write-ahead-log sequence number whose effects are included in
+  /// the snapshot; replay skips records with lsn <= wal_seq.
+  uint64_t wal_seq = 0;
+  /// Application-defined bits (OlapSession uses kSnapshotRootIsCube).
+  uint32_t flags = 0;
+};
+
+/// Flag bit: the root element in this snapshot is the session's base cube,
+/// persisted for durability, and was not part of the logical element set.
+inline constexpr uint32_t kSnapshotRootIsCube = 1u << 0;
+
+/// Per-element outcome of a v2 load.
+struct ElementDiagnostic {
+  ElementId id;
+  bool corrupt = false;
+  std::string detail;  ///< empty when healthy
+};
+
+/// Full diagnostics of a v2 load.
+struct SnapshotReport {
+  int version = 0;
+  SnapshotMeta meta;
+  std::vector<ElementDiagnostic> elements;  ///< one per directory entry
+  uint64_t corrupt_elements = 0;
+  [[nodiscard]] bool clean() const { return corrupt_elements == 0; }
+};
+
+/// Writes the store to `path` in the legacy v1 format (no checksums),
+/// atomically (temp file + fsync + rename).
 Status SaveStore(const ElementStore& store, const std::string& path);
 
-/// Reads a store previously written by SaveStore. Fails with
-/// InvalidArgument on a malformed or truncated file.
+/// Writes the store to `path` in the checksummed v2 format, atomically.
+Status SaveStoreV2(const ElementStore& store, const std::string& path,
+                   const SnapshotMeta& meta = {});
+
+/// Reads a store written by SaveStore or SaveStoreV2 (the version is
+/// auto-detected), strictly: ANY detected corruption fails with
+/// InvalidArgument — no partial store escapes.
 Result<ElementStore> LoadStore(const std::string& path);
+
+/// Reads a v2 store with per-element diagnostics. Elements whose payload
+/// fails its CRC (or is truncated away) are quarantined in the returned
+/// store and described in `report`; the rest load normally. Fails only
+/// when the header or directory is unusable. `report` may be null.
+Result<ElementStore> LoadStoreV2(const std::string& path,
+                                 SnapshotReport* report);
 
 }  // namespace vecube
 

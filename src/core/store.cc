@@ -14,22 +14,51 @@ Status ElementStore::Put(const ElementId& id, Tensor data) {
   }
   auto it = map_.find(id);
   if (it != map_.end()) {
+    // Replace in place: the extents check above guarantees the volume is
+    // unchanged, so storage_cells_ must NOT be touched.
     it->second = std::move(data);
+    quarantine_.erase(id);
     return Status::OK();
   }
   storage_cells_ += id.DataVolume(shape_);
   map_.emplace(id, std::move(data));
+  quarantine_.erase(id);  // a successful Put is a repair
   return Status::OK();
 }
 
 Status ElementStore::Erase(const ElementId& id) {
   auto it = map_.find(id);
   if (it == map_.end()) {
+    // Erasing a quarantined-only id drops the mark (accepting the loss);
+    // it never held resident cells, so accounting is untouched.
+    if (quarantine_.erase(id) > 0) return Status::OK();
     return Status::NotFound("element " + id.ToString() + " not in store");
   }
   storage_cells_ -= id.DataVolume(shape_);
   map_.erase(it);
+  quarantine_.erase(id);
   return Status::OK();
+}
+
+Status ElementStore::Quarantine(const ElementId& id) {
+  if (id.ndim() != shape_.ndim()) {
+    return Status::InvalidArgument("element arity does not match store shape");
+  }
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    storage_cells_ -= id.DataVolume(shape_);
+    map_.erase(it);
+  }
+  quarantine_.insert(id);
+  return Status::OK();
+}
+
+std::vector<ElementId> ElementStore::QuarantinedIds() const {
+  std::vector<ElementId> ids;
+  ids.reserve(quarantine_.size());
+  for (const ElementId& id : quarantine_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
 }
 
 Result<const Tensor*> ElementStore::Get(const ElementId& id) const {

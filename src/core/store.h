@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/element_id.h"
@@ -17,6 +18,14 @@ namespace vecube {
 /// Holds materialized element data keyed by ElementId. The store does not
 /// enforce completeness — AssemblyEngine reports Incomplete when a target
 /// cannot be reconstructed from what is present.
+///
+/// Degraded mode: an element whose persisted bytes failed their checksum
+/// is *quarantined* — known to belong to the store but carrying no
+/// trusted data. Quarantined ids are not resident (Contains/Get/Ids see
+/// only healthy elements, so assembly honestly reports Incomplete for
+/// targets that need them) until RepairStore (core/repair.h) re-derives
+/// them; a successful Put clears the mark. StorageCells() counts resident
+/// cells only.
 class ElementStore {
  public:
   explicit ElementStore(CubeShape shape) : shape_(std::move(shape)) {}
@@ -52,9 +61,22 @@ class ElementStore {
   /// Stored ids in deterministic (sorted) order.
   std::vector<ElementId> Ids() const;
 
+  /// Marks `id` as present-but-untrusted. Any resident data for `id` is
+  /// dropped (and its cells leave StorageCells()).
+  Status Quarantine(const ElementId& id);
+
+  [[nodiscard]] bool IsQuarantined(const ElementId& id) const {
+    return quarantine_.count(id) > 0;
+  }
+  [[nodiscard]] size_t quarantined_count() const { return quarantine_.size(); }
+
+  /// Quarantined ids in deterministic (sorted) order.
+  std::vector<ElementId> QuarantinedIds() const;
+
  private:
   CubeShape shape_;
   std::unordered_map<ElementId, Tensor, ElementIdHash> map_;
+  std::unordered_set<ElementId, ElementIdHash> quarantine_;
   uint64_t storage_cells_ = 0;
 };
 

@@ -1,0 +1,116 @@
+// Write-ahead log for incremental cube maintenance.
+//
+// Incremental updates (OlapSession::AddFact -> ApplyPointDelta) mutate
+// every materialized element in place; a crash mid-update would leave the
+// only copy of the store silently inconsistent. The WAL makes each fact
+// durable *before* it is applied: a record is appended and fsynced, then
+// the in-memory stores mutate. Recovery replays the committed suffix of
+// the log over the last snapshot.
+//
+// File layout (little-endian):
+//   magic "VECUBEWL" (8 bytes)
+//   u32 version (1), u32 ndim, u32 extents[ndim]
+//   u64 base_lsn            (lsn of the first record in this file)
+//   u32 header_crc          (masked CRC32C of all preceding bytes)
+//   records, each:
+//     u32 payload_bytes
+//     u32 payload_crc       (masked CRC32C of the payload)
+//     payload: u64 lsn, u32 coords[ndim], f64 delta
+//
+// Properties the recovery path relies on:
+//   * every record carries its own CRC: a torn append (crash mid-write)
+//     is detected and the scan stops at the last whole record — the
+//     committed prefix;
+//   * records carry monotonically increasing lsns starting at base_lsn;
+//     a snapshot stores the lsn it folded in (SnapshotMeta::wal_seq), so
+//     replay is idempotent: records with lsn <= wal_seq are skipped, and
+//     a crash *between* "snapshot renamed" and "log reset" double-applies
+//     nothing;
+//   * Reset() (checkpoint truncation) writes a fresh header to a temp
+//     file and atomically renames it over the log.
+//
+// Failpoints: "wal.append", "wal.append.sync", "wal.reset",
+// "wal.reset.sync", "wal.reset.rename".
+
+#ifndef VECUBE_CORE_WAL_H_
+#define VECUBE_CORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/update.h"
+#include "cube/shape.h"
+#include "util/io_file.h"
+#include "util/result.h"
+
+namespace vecube {
+
+/// One committed log record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  CellDelta delta;
+};
+
+/// Result of scanning a log file.
+struct WalScan {
+  std::vector<WalRecord> records;  ///< committed records, lsn ascending
+  uint64_t base_lsn = 1;           ///< first lsn this file can hold
+  bool torn_tail = false;          ///< trailing torn/corrupt record found
+  uint64_t committed_bytes = 0;    ///< file offset after the last good record
+};
+
+/// Append-only write-ahead log of point deltas for one cube shape.
+class WriteAheadLog {
+ public:
+  /// Scans `path` without opening it for writing. NotFound if absent.
+  static Result<WalScan> Scan(const std::string& path, const CubeShape& shape);
+
+  /// Opens the log for appending, creating it (at `create_base_lsn`) if
+  /// absent. An existing log is scanned first; a torn tail is truncated
+  /// away so new records always follow the committed prefix. `scan_out`
+  /// (optional) receives the scan, so open-for-recovery is a single pass.
+  /// Pass create_base_lsn = snapshot wal_seq + 1 when recovering, so a
+  /// lost log file cannot restart the lsn sequence below what snapshots
+  /// have already folded in (which would make future replays skip records).
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    const CubeShape& shape,
+                                    WalScan* scan_out = nullptr,
+                                    bool sync_each_append = true,
+                                    uint64_t create_base_lsn = 1);
+
+  WriteAheadLog(WriteAheadLog&&) = default;
+  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+
+  /// Appends (and by default fsyncs) one record, assigning the next lsn.
+  /// On failure the file is rolled back to the previous committed length,
+  /// so a later append cannot land after torn bytes; if even the rollback
+  /// fails the log is marked broken and every later append fails fast.
+  Result<uint64_t> Append(const CellDelta& delta);
+
+  /// Checkpoint truncation: atomically replaces the log with an empty one
+  /// whose base_lsn continues the sequence. Call only after a snapshot
+  /// with wal_seq >= last_lsn() has been durably renamed into place.
+  Status Reset();
+
+  /// Lsn of the most recently appended (or scanned) record; base_lsn - 1
+  /// when the log is empty.
+  [[nodiscard]] uint64_t last_lsn() const { return next_lsn_ - 1; }
+  [[nodiscard]] uint64_t records_in_log() const { return records_in_log_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog() = default;
+
+  std::string path_;
+  CubeShape shape_;
+  WritableFile file_;
+  uint64_t next_lsn_ = 1;
+  uint64_t records_in_log_ = 0;
+  bool sync_each_append_ = true;
+  bool broken_ = false;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_CORE_WAL_H_

@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78).
+//
+// The checksum guarding every durable byte vecube writes: snapshot
+// headers, element payloads, and WAL records. CRC32C detects all
+// single-bit errors, all odd numbers of bit errors, and all burst errors
+// up to 32 bits — exactly the torn-write / bit-rot failure modes the
+// durability layer defends against. Software slice-by-4 implementation;
+// deterministic on every platform.
+
+#ifndef VECUBE_UTIL_CRC32C_H_
+#define VECUBE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vecube {
+
+/// CRC32C of `size` bytes starting at `data`, seeded with `seed` (pass the
+/// previous return value to checksum discontiguous regions as one stream).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// Masked CRC (RocksDB/LevelDB idiom): storing a CRC of data that itself
+/// contains CRCs is error-prone; the mask makes a stored checksum never
+/// look like a valid checksum of its surroundings.
+inline uint32_t MaskCrc32c(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc32c(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_CRC32C_H_

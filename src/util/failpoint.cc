@@ -1,0 +1,102 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace vecube {
+
+namespace {
+
+struct Armed {
+  FailpointAction action;
+  uint64_t skip = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Armed> armed;
+  std::map<std::string, uint64_t> counts;
+  bool tracing = false;
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+// Fast path: instrumented call sites pay one relaxed load when nothing is
+// armed and tracing is off.
+std::atomic<int> g_active{0};
+
+}  // namespace
+
+void Failpoints::Arm(const std::string& name, FailpointAction action,
+                     uint64_t skip) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const bool fresh = registry.armed.emplace(name, Armed{action, skip}).second;
+  if (!fresh) registry.armed[name] = Armed{action, skip};
+  g_active.store(1, std::memory_order_release);
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed.erase(name);
+  if (registry.armed.empty() && !registry.tracing) {
+    g_active.store(0, std::memory_order_release);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.armed.clear();
+  if (!registry.tracing) g_active.store(0, std::memory_order_release);
+}
+
+std::optional<FailpointAction> Failpoints::Hit(const std::string& name) {
+  if (g_active.load(std::memory_order_acquire) == 0) return std::nullopt;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.tracing) ++registry.counts[name];
+  auto it = registry.armed.find(name);
+  if (it == registry.armed.end()) return std::nullopt;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return std::nullopt;
+  }
+  const FailpointAction action = it->second.action;
+  registry.armed.erase(it);  // one-shot
+  if (registry.armed.empty() && !registry.tracing) {
+    g_active.store(0, std::memory_order_release);
+  }
+  return action;
+}
+
+void Failpoints::StartTrace() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.tracing = true;
+  registry.counts.clear();
+  g_active.store(1, std::memory_order_release);
+}
+
+void Failpoints::StopTrace() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.tracing = false;
+  if (registry.armed.empty()) g_active.store(0, std::memory_order_release);
+}
+
+std::vector<std::pair<std::string, uint64_t>> Failpoints::TraceCounts() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::pair<std::string, uint64_t>> out(registry.counts.begin(),
+                                                    registry.counts.end());
+  return out;
+}
+
+}  // namespace vecube

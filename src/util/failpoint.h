@@ -1,0 +1,67 @@
+// Deterministic failpoint injection for crash-consistency testing.
+//
+// The durability layer (snapshot writer, WAL) instruments every syscall
+// boundary with a named failpoint. Tests arm a failpoint with an action
+// and a skip count; the (skip+1)-th time execution reaches that point the
+// action fires — an injected EIO, a short write that leaves a torn
+// record on disk, or a silent bit flip. Killing the process at a write
+// is simulated by arming kError (the partial file state is exactly what
+// a crash would leave) and then abandoning the in-memory objects.
+//
+// The registry also counts hits when tracing is enabled, so a test can
+// run a clean save/append/checkpoint cycle once, enumerate every
+// (failpoint, hit-index) pair that executed, and then prove crash
+// recovery at each of them — no failpoint silently escapes coverage.
+//
+// Unarmed cost is one relaxed atomic load per instrumented call site;
+// production binaries never arm anything.
+
+#ifndef VECUBE_UTIL_FAILPOINT_H_
+#define VECUBE_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vecube {
+
+/// What an armed failpoint does when it fires.
+struct FailpointAction {
+  enum class Kind : uint8_t {
+    kError,       ///< fail the operation without touching the file
+    kShortWrite,  ///< write only `short_bytes` of the buffer, then fail
+    kBitFlip,     ///< flip `flip_bit` (mod buffer bits) and keep going
+  };
+  Kind kind = Kind::kError;
+  uint64_t short_bytes = 0;  ///< kShortWrite: bytes persisted before failing
+  uint64_t flip_bit = 0;     ///< kBitFlip: bit index within the buffer
+};
+
+/// Process-wide failpoint registry. All methods are thread-safe.
+class Failpoints {
+ public:
+  /// Arms `name`: the action fires on the (skip+1)-th Hit() and the
+  /// failpoint disarms itself (one-shot). Re-arming replaces any previous
+  /// arming of the same name.
+  static void Arm(const std::string& name, FailpointAction action,
+                  uint64_t skip = 0);
+  static void Disarm(const std::string& name);
+  static void DisarmAll();
+
+  /// Called by instrumented code. Returns the action iff `name` is armed
+  /// and its skip count is exhausted. Counts the hit when tracing.
+  static std::optional<FailpointAction> Hit(const std::string& name);
+
+  /// Hit tracing: enables per-name counting so tests can enumerate every
+  /// failpoint a code path executes. Counts reset when tracing starts.
+  static void StartTrace();
+  static void StopTrace();
+  /// (name, hits) pairs observed since StartTrace(), sorted by name.
+  static std::vector<std::pair<std::string, uint64_t>> TraceCounts();
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_FAILPOINT_H_

@@ -1,0 +1,169 @@
+#include "util/io_file.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/failpoint.h"
+
+namespace vecube {
+
+WritableFile& WritableFile::operator=(WritableFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    scope_ = std::move(other.scope_);
+    offset_ = other.offset_;
+    other.file_ = nullptr;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+WritableFile::~WritableFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<WritableFile> WritableFile::Create(const std::string& path,
+                                          std::string failpoint_scope) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  WritableFile file;
+  file.file_ = f;
+  file.path_ = path;
+  file.scope_ = std::move(failpoint_scope);
+  return file;
+}
+
+Result<WritableFile> WritableFile::OpenForAppend(const std::string& path,
+                                                 std::string failpoint_scope) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for append");
+  }
+  WritableFile file;
+  file.file_ = f;
+  file.path_ = path;
+  file.scope_ = std::move(failpoint_scope);
+  const long pos = std::ftell(f);  // NOLINT(google-runtime-int)
+  file.offset_ = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  return file;
+}
+
+Status WritableFile::Append(const void* data, size_t size) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("file " + path_ + " is closed");
+  }
+  if (auto action = Failpoints::Hit(scope_)) {
+    switch (action->kind) {
+      case FailpointAction::Kind::kError:
+        return Status::Internal("injected I/O error at " + scope_ + " (" +
+                                path_ + ")");
+      case FailpointAction::Kind::kShortWrite: {
+        const size_t kept =
+            std::min(static_cast<size_t>(action->short_bytes), size);
+        if (kept > 0) {
+          std::fwrite(data, 1, kept, file_);
+          offset_ += kept;
+        }
+        std::fflush(file_);
+        return Status::Internal("injected short write at " + scope_ + " (" +
+                                std::to_string(kept) + "/" +
+                                std::to_string(size) + " bytes)");
+      }
+      case FailpointAction::Kind::kBitFlip: {
+        // Silent in-flight corruption: the write "succeeds".
+        std::vector<uint8_t> corrupted(size);
+        std::memcpy(corrupted.data(), data, size);
+        const uint64_t bit = action->flip_bit % (uint64_t{size} * 8);
+        corrupted[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        if (std::fwrite(corrupted.data(), 1, size, file_) != size) {
+          return Status::Internal("write failed: " + path_);
+        }
+        offset_ += size;
+        return Status::OK();
+      }
+    }
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return Status::Internal("write failed: " + path_);
+  }
+  offset_ += size;
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("file " + path_ + " is closed");
+  }
+  if (auto action = Failpoints::Hit(scope_ + ".sync")) {
+    (void)action;
+    std::fflush(file_);  // buffered bytes may or may not have landed
+    return Status::Internal("injected sync failure at " + scope_ + " (" +
+                            path_ + ")");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("flush failed: " + path_);
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("fsync failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WritableFile::TruncateTo(uint64_t size) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("file " + path_ + " is closed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("flush failed: " + path_);
+  }
+  if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
+    return Status::Internal("ftruncate failed: " + path_);
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::Internal("seek failed: " + path_);
+  }
+  offset_ = size;
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::Internal("close failed: " + path_);
+  return Status::OK();
+}
+
+Status AtomicRename(const std::string& from, const std::string& to,
+                    const std::string& failpoint_scope) {
+  if (auto action = Failpoints::Hit(failpoint_scope + ".rename")) {
+    (void)action;
+    return Status::Internal("injected rename failure: " + from + " -> " + to);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("rename failed: " + from + " -> " + to);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct ::stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("cannot stat " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace vecube

@@ -1,0 +1,95 @@
+// Failpoint-instrumented file primitives for the durability layer.
+//
+// Every byte the snapshot writer and the WAL put on disk flows through
+// WritableFile, which checks a named failpoint at each append / sync /
+// rename boundary. With nothing armed this is a plain buffered stdio
+// file; with a failpoint armed it reproduces the real-world failure
+// modes a durable store must survive:
+//
+//   kError       the syscall "fails" (EIO) without touching the file —
+//                combined with abandoning the writer, this is a crash
+//                immediately before the write;
+//   kShortWrite  only a prefix of the buffer reaches the file before the
+//                failure — a torn write / crash mid-write;
+//   kBitFlip     the buffer is silently corrupted in flight — bit rot or
+//                a bad cable; the write "succeeds".
+//
+// The scope string names the instrumented path ("snapshot", "wal.append",
+// ...); derived failpoints are "<scope>", "<scope>.sync" and
+// "<scope>.rename".
+
+#ifndef VECUBE_UTIL_IO_FILE_H_
+#define VECUBE_UTIL_IO_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace vecube {
+
+/// Append-only file handle with failpoint instrumentation. Create() opens
+/// (truncating); Open() resumes appending at an existing file's end.
+class WritableFile {
+ public:
+  WritableFile() = default;
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+  WritableFile(WritableFile&& other) noexcept { *this = std::move(other); }
+  WritableFile& operator=(WritableFile&& other) noexcept;
+  /// Closes (without syncing) if still open; partial files are left on
+  /// disk — exactly the state a crash would leave, which recovery paths
+  /// must tolerate anyway.
+  ~WritableFile();
+
+  static Result<WritableFile> Create(const std::string& path,
+                                     std::string failpoint_scope);
+  static Result<WritableFile> OpenForAppend(const std::string& path,
+                                            std::string failpoint_scope);
+
+  /// Appends `size` bytes, honoring the "<scope>" failpoint.
+  Status Append(const void* data, size_t size);
+  template <typename T>
+  Status AppendScalar(T value) {
+    return Append(&value, sizeof(T));
+  }
+
+  /// fflush + fsync, honoring "<scope>.sync".
+  Status Sync();
+
+  /// Truncates the file back to `size` bytes (undo of a failed append so
+  /// the next append cannot land after torn bytes). Flushes first.
+  Status TruncateTo(uint64_t size);
+
+  Status Close();
+
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+  /// Bytes appended through this handle plus the preexisting length for
+  /// OpenForAppend — i.e. the current logical file size.
+  [[nodiscard]] uint64_t offset() const { return offset_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string scope_;
+  uint64_t offset_ = 0;
+};
+
+/// Atomically replaces `to` with `from` (rename), honoring the
+/// "<scope>.rename" failpoint. `from` must exist.
+Status AtomicRename(const std::string& from, const std::string& to,
+                    const std::string& failpoint_scope);
+
+/// Size of `path` in bytes; NotFound if it does not exist.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Best-effort removal (missing file is OK).
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_IO_FILE_H_

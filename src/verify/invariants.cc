@@ -218,6 +218,29 @@ Status InvariantChecker::CheckStoreConsistency(const ElementStore& store,
   return Finish(Status::OK());
 }
 
+Status InvariantChecker::CheckStoreAccounting(const ElementStore& store) {
+  uint64_t cells = 0;
+  for (const ElementId& id : store.Ids()) {
+    Result<const Tensor*> data = store.Get(id);
+    if (!data.ok()) {
+      return Finish(Violation("element " + id.ToString() +
+                              " listed but not readable: " +
+                              data.status().ToString()));
+    }
+    cells += (*data)->size();
+    if (store.IsQuarantined(id)) {
+      return Finish(Violation("element " + id.ToString() +
+                              " is both resident and quarantined"));
+    }
+  }
+  if (cells != store.StorageCells()) {
+    return Finish(Violation(
+        "StorageCells() = " + std::to_string(store.StorageCells()) +
+        " but resident elements sum to " + std::to_string(cells)));
+  }
+  return Finish(Status::OK());
+}
+
 Status InvariantChecker::CheckPerfectReconstruction(const ElementStore& store,
                                                     const Tensor& cube) {
   if (cube.extents() != shape_.extents()) {
@@ -261,6 +284,7 @@ Status InvariantChecker::CheckAll(const ElementStore& store,
     if (first.ok() && !status.ok()) first = std::move(status);
   };
   absorb(CheckElementBounds(store));
+  absorb(CheckStoreAccounting(store));
   absorb(CheckHaarRoundTrip(cube));
   absorb(CheckNonExpansiveSplit(cube));
   absorb(CheckStoreConsistency(store, cube));

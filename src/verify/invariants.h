@@ -92,6 +92,13 @@ class InvariantChecker {
   /// Sampled stored elements equal the analysis cascade of `cube`.
   Status CheckStoreConsistency(const ElementStore& store, const Tensor& cube);
 
+  /// Store bookkeeping: StorageCells() equals the summed volume of the
+  /// resident elements, and no id is simultaneously resident and
+  /// quarantined. Exact (not sampled) — it is O(#elements), touching no
+  /// cell data — and guards the accounting under Put/Erase/Quarantine
+  /// churn during degraded operation and repair.
+  Status CheckStoreAccounting(const ElementStore& store);
+
   /// The store reconstructs the base cube A exactly, and the measured
   /// reconstruction ops equal the analytic plan cost. Skipped (OK) when
   /// the store cannot reach the root at all — completeness is the

@@ -114,6 +114,43 @@ TEST_F(CliPipeline, BadInvocationsFail) {
             0);
 }
 
+TEST_F(CliPipeline, FsckReportsHealthCorruptionAndRepair) {
+  std::string output;
+  ASSERT_EQ(RunCli("build --csv " + csv_ + " --extents 4,4 --out " + store_,
+                   &output),
+            0)
+      << output;
+
+  // A pristine v2 snapshot passes element-by-element verification.
+  ASSERT_EQ(RunCli("fsck --store " + store_, &output), 0) << output;
+  EXPECT_NE(output.find("v2 snapshot"), std::string::npos) << output;
+  EXPECT_NE(output.find("verdict: healthy"), std::string::npos) << output;
+
+  // Flip one bit in the last payload byte: fsck must localize the damage
+  // to the element and exit nonzero.
+  {
+    std::fstream file(store_,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(0, std::ios::end);
+    const auto last = static_cast<std::streamoff>(file.tellg()) - 1;
+    file.seekg(last);
+    char byte = 0;
+    file.get(byte);
+    file.seekp(last);
+    byte = static_cast<char>(byte ^ 0x01);
+    file.write(&byte, 1);
+  }
+  ASSERT_EQ(RunCli("fsck --store " + store_, &output), 1) << output;
+  EXPECT_NE(output.find("CORRUPT"), std::string::npos) << output;
+  EXPECT_NE(output.find("verdict: degraded"), std::string::npos) << output;
+
+  // The build store holds only the root: nothing can re-derive it, and
+  // fsck --repair must say so rather than fabricate data.
+  ASSERT_EQ(RunCli("fsck --store " + store_ + " --repair", &output), 1)
+      << output;
+  EXPECT_NE(output.find("UNREPAIRABLE"), std::string::npos) << output;
+}
+
 TEST_F(CliPipeline, PaddedBuild) {
   // Extents 3,4 pad to 4,4; out-of-domain keys would fail, in-domain work.
   std::string output;

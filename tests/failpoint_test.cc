@@ -1,0 +1,187 @@
+// Failpoint registry semantics and the WritableFile fault-injection shim:
+// one-shot arming, skip counts, trace counting, and each injected failure
+// mode's exact on-disk effect.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/io_file.h"
+
+namespace vecube {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<char> bytes(size);
+  in.read(bytes.data(), static_cast<std::streamsize>(size));
+  return bytes;
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Failpoints::DisarmAll();
+    Failpoints::StopTrace();
+  }
+};
+
+TEST_F(FailpointTest, UnarmedHitReturnsNothing) {
+  EXPECT_FALSE(Failpoints::Hit("never.armed").has_value());
+}
+
+TEST_F(FailpointTest, ArmedFiresOnceThenDisarms) {
+  Failpoints::Arm("fp", FailpointAction{});
+  auto fired = Failpoints::Hit("fp");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->kind, FailpointAction::Kind::kError);
+  EXPECT_FALSE(Failpoints::Hit("fp").has_value()) << "one-shot";
+}
+
+TEST_F(FailpointTest, SkipCountDelaysFiring) {
+  Failpoints::Arm("fp", FailpointAction{}, /*skip=*/2);
+  EXPECT_FALSE(Failpoints::Hit("fp").has_value());
+  EXPECT_FALSE(Failpoints::Hit("fp").has_value());
+  EXPECT_TRUE(Failpoints::Hit("fp").has_value()) << "fires on 3rd hit";
+  EXPECT_FALSE(Failpoints::Hit("fp").has_value());
+}
+
+TEST_F(FailpointTest, RearmReplacesPreviousArming) {
+  Failpoints::Arm("fp", FailpointAction{}, /*skip=*/100);
+  FailpointAction flip;
+  flip.kind = FailpointAction::Kind::kBitFlip;
+  flip.flip_bit = 7;
+  Failpoints::Arm("fp", flip);
+  auto fired = Failpoints::Hit("fp");
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->kind, FailpointAction::Kind::kBitFlip);
+  EXPECT_EQ(fired->flip_bit, 7u);
+}
+
+TEST_F(FailpointTest, DisarmAndDisarmAll) {
+  Failpoints::Arm("a", FailpointAction{});
+  Failpoints::Arm("b", FailpointAction{});
+  Failpoints::Disarm("a");
+  EXPECT_FALSE(Failpoints::Hit("a").has_value());
+  Failpoints::DisarmAll();
+  EXPECT_FALSE(Failpoints::Hit("b").has_value());
+}
+
+TEST_F(FailpointTest, TraceCountsEveryHit) {
+  Failpoints::StartTrace();
+  Failpoints::Hit("alpha");
+  Failpoints::Hit("beta");
+  Failpoints::Hit("alpha");
+  Failpoints::Hit("alpha");
+  Failpoints::StopTrace();
+  const auto counts = Failpoints::TraceCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "alpha");
+  EXPECT_EQ(counts[0].second, 3u);
+  EXPECT_EQ(counts[1].first, "beta");
+  EXPECT_EQ(counts[1].second, 1u);
+}
+
+TEST_F(FailpointTest, TraceRestartResetsCounts) {
+  Failpoints::StartTrace();
+  Failpoints::Hit("x");
+  Failpoints::StartTrace();
+  Failpoints::Hit("y");
+  Failpoints::StopTrace();
+  const auto counts = Failpoints::TraceCounts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0].first, "y");
+}
+
+TEST_F(FailpointTest, InjectedErrorLeavesFileUntouched) {
+  const std::string path = TempPath("fp_error.bin");
+  auto file = WritableFile::Create(path, "t");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("good", 4).ok());
+  Failpoints::Arm("t", FailpointAction{});
+  EXPECT_FALSE(file->Append("evil", 4).ok());
+  EXPECT_EQ(file->offset(), 4u) << "failed append must not advance";
+  ASSERT_TRUE(file->Append("more", 4).ok());
+  ASSERT_TRUE(file->Close().ok());
+  const auto bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.data(), bytes.size()), "goodmore");
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, ShortWriteLeavesTornPrefix) {
+  const std::string path = TempPath("fp_short.bin");
+  auto file = WritableFile::Create(path, "t");
+  ASSERT_TRUE(file.ok());
+  FailpointAction torn;
+  torn.kind = FailpointAction::Kind::kShortWrite;
+  torn.short_bytes = 2;
+  Failpoints::Arm("t", torn);
+  EXPECT_FALSE(file->Append("abcdef", 6).ok());
+  ASSERT_TRUE(file->Close().ok());
+  const auto bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.data(), bytes.size()), "ab");
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, BitFlipCorruptsSilently) {
+  const std::string path = TempPath("fp_flip.bin");
+  auto file = WritableFile::Create(path, "t");
+  ASSERT_TRUE(file.ok());
+  FailpointAction flip;
+  flip.kind = FailpointAction::Kind::kBitFlip;
+  flip.flip_bit = 0;  // lowest bit of the first byte
+  Failpoints::Arm("t", flip);
+  EXPECT_TRUE(file->Append("a", 1).ok()) << "bit rot is a 'successful' write";
+  ASSERT_TRUE(file->Close().ok());
+  const auto bytes = ReadAll(path);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 'a' ^ 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, SyncAndRenameFailpoints) {
+  const std::string path = TempPath("fp_sync.bin");
+  auto file = WritableFile::Create(path, "t");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("x", 1).ok());
+  Failpoints::Arm("t.sync", FailpointAction{});
+  EXPECT_FALSE(file->Sync().ok());
+  EXPECT_TRUE(file->Sync().ok()) << "one-shot: next sync succeeds";
+  ASSERT_TRUE(file->Close().ok());
+
+  const std::string target = TempPath("fp_renamed.bin");
+  Failpoints::Arm("t.rename", FailpointAction{});
+  EXPECT_FALSE(AtomicRename(path, target, "t").ok());
+  EXPECT_TRUE(FileSize(path).ok()) << "source survives a failed rename";
+  EXPECT_TRUE(AtomicRename(path, target, "t").ok());
+  EXPECT_TRUE(FileSize(target).ok());
+  std::remove(target.c_str());
+}
+
+TEST_F(FailpointTest, TruncateToUndoesAppend) {
+  const std::string path = TempPath("fp_trunc.bin");
+  auto file = WritableFile::Create(path, "t");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("keepdrop", 8).ok());
+  ASSERT_TRUE(file->TruncateTo(4).ok());
+  ASSERT_TRUE(file->Append("tail", 4).ok());
+  ASSERT_TRUE(file->Close().ok());
+  const auto bytes = ReadAll(path);
+  EXPECT_EQ(std::string(bytes.data(), bytes.size()), "keeptail");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vecube

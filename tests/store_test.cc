@@ -77,5 +77,94 @@ TEST(StoreTest, ArityMismatchRejected) {
                   .IsInvalidArgument());
 }
 
+TEST(StoreTest, QuarantineDropsDataAndCells) {
+  ElementStore store(Shape44());
+  ASSERT_TRUE(store.Put(ElementId::Root(2), *Tensor::Zeros({4, 4})).ok());
+  ASSERT_TRUE(store.Quarantine(ElementId::Root(2)).ok());
+  EXPECT_TRUE(store.IsQuarantined(ElementId::Root(2)));
+  EXPECT_FALSE(store.Contains(ElementId::Root(2)))
+      << "untrusted data must not be served";
+  EXPECT_TRUE(store.Get(ElementId::Root(2)).status().IsNotFound());
+  EXPECT_EQ(store.StorageCells(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.quarantined_count(), 1u);
+}
+
+TEST(StoreTest, PutClearsQuarantineMark) {
+  ElementStore store(Shape44());
+  ASSERT_TRUE(store.Quarantine(ElementId::Root(2)).ok());
+  ASSERT_TRUE(store.Put(ElementId::Root(2), *Tensor::Zeros({4, 4})).ok());
+  EXPECT_FALSE(store.IsQuarantined(ElementId::Root(2)));
+  EXPECT_EQ(store.quarantined_count(), 0u);
+  EXPECT_EQ(store.StorageCells(), 16u);
+}
+
+TEST(StoreTest, EraseClearsQuarantineMark) {
+  ElementStore store(Shape44());
+  ASSERT_TRUE(store.Quarantine(ElementId::Root(2)).ok());
+  // Erasing a quarantined-only id drops the mark (the caller is giving
+  // the element up entirely).
+  ASSERT_TRUE(store.Erase(ElementId::Root(2)).ok());
+  EXPECT_EQ(store.quarantined_count(), 0u);
+  EXPECT_TRUE(store.Erase(ElementId::Root(2)).IsNotFound());
+}
+
+TEST(StoreTest, AccountingStaysExactUnderQuarantineChurn) {
+  // Regression: StorageCells() must equal the summed volume of the
+  // resident elements through arbitrary Put / Erase / Quarantine /
+  // Put-replace sequences (the degraded-mode and repair paths exercise
+  // all of them).
+  const CubeShape shape = Shape44();
+  ElementStore store(shape);
+  auto check = [&store] {
+    uint64_t cells = 0;
+    for (const ElementId& id : store.Ids()) {
+      auto data = store.Get(id);
+      ASSERT_TRUE(data.ok());
+      cells += (*data)->size();
+      EXPECT_FALSE(store.IsQuarantined(id));
+    }
+    EXPECT_EQ(cells, store.StorageCells());
+  };
+  const ElementId root = ElementId::Root(2);
+  auto half = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  ASSERT_TRUE(half.ok());
+
+  ASSERT_TRUE(store.Put(root, *Tensor::Zeros({4, 4})).ok());
+  ASSERT_TRUE(store.Put(*half, *Tensor::Zeros({2, 4})).ok());
+  check();
+  ASSERT_TRUE(store.Quarantine(*half).ok());
+  check();
+  ASSERT_TRUE(store.Put(*half, *Tensor::Zeros({2, 4})).ok());  // repair
+  check();
+  ASSERT_TRUE(store.Put(root, *Tensor::Zeros({4, 4})).ok());  // replace
+  check();
+  ASSERT_TRUE(store.Quarantine(root).ok());
+  check();
+  ASSERT_TRUE(store.Erase(root).ok());  // give up on it
+  check();
+  ASSERT_TRUE(store.Erase(*half).ok());
+  check();
+  EXPECT_EQ(store.StorageCells(), 0u);
+  EXPECT_EQ(store.quarantined_count(), 0u);
+}
+
+TEST(StoreTest, QuarantineValidatesArity) {
+  ElementStore store(Shape44());
+  EXPECT_FALSE(store.Quarantine(ElementId::Root(3)).ok());
+}
+
+TEST(StoreTest, QuarantinedIdsSorted) {
+  const CubeShape shape = Shape44();
+  ElementStore store(shape);
+  auto a = ElementId::Make({{1, 1}, {0, 0}}, shape);
+  auto b = ElementId::Make({{1, 0}, {0, 0}}, shape);
+  ASSERT_TRUE(store.Quarantine(*a).ok());
+  ASSERT_TRUE(store.Quarantine(*b).ok());
+  const auto ids = store.QuarantinedIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(ids[0] < ids[1]);
+}
+
 }  // namespace
 }  // namespace vecube
