@@ -1,0 +1,289 @@
+// Concurrent serving benchmark: replays a Zipf-skewed view-query workload
+// through the sharded ViewCache at several thread counts and reports hit
+// rate and assembly operations saved versus uncached serving.
+//
+// Each worker owns a private AssemblyEngine (the engine's memo tables are
+// not thread-safe) over the shared read-only store; all workers share one
+// ViewCache. The query sequence is pre-generated deterministically and
+// partitioned across workers, so the set of views served is identical at
+// every thread count; assembly itself is deterministic, so whichever
+// worker populates a cache entry first, every reader sees bit-identical
+// data — verified against a single-threaded reference at the end.
+//
+// The baseline is Σ PlanCost(query) over the whole sequence: the ops an
+// uncached server would spend (measured ops == plan cost is a library
+// invariant, tested elsewhere). Emits BENCH_serve.json.
+//
+// Usage: bench_serve [extent] [ndim] [queries] [threads]
+//   extent   per-dimension domain size     (default 16)
+//   ndim     number of dimensions          (default 4)
+//   queries  total queries per run         (default 40000)
+//   threads  max worker thread count       (default: hardware concurrency)
+//
+// Exit status is nonzero on any correctness failure, and on a hit rate
+// below 90% when queries >= 1000 (the skewed workload must make the
+// cache pay for itself).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/shape.h"
+#include "cube/synthetic.h"
+#include "serve/view_cache.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/population.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct RunResult {
+  uint32_t threads = 1;
+  double best_ms = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t ops_saved = 0;
+  uint64_t ops_executed = 0;
+  uint64_t evictions = 0;
+
+  [[nodiscard]] double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t extent = argc > 1 ? std::atoi(argv[1]) : 16;
+  const uint32_t ndim = argc > 2 ? std::atoi(argv[2]) : 4;
+  const uint64_t queries =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 40000;
+  const uint32_t max_threads =
+      argc > 4 ? std::atoi(argv[4]) : vecube::ThreadPool::DefaultThreadCount();
+  constexpr int kReps = 3;
+
+  auto shape_result = vecube::CubeShape::MakeSquare(ndim, extent);
+  if (!shape_result.ok()) {
+    std::fprintf(stderr, "bad shape: %s\n",
+                 shape_result.status().ToString().c_str());
+    return 1;
+  }
+  const vecube::CubeShape shape = *shape_result;
+  std::printf("serving bench: %u^%u cube (%llu cells), cube-only store, "
+              "%llu Zipf(1.1) queries\n",
+              extent, ndim, static_cast<unsigned long long>(shape.volume()),
+              static_cast<unsigned long long>(queries));
+
+  vecube::Rng rng(24);
+  auto cube = vecube::UniformIntegerCube(shape, &rng, -9, 9);
+  if (!cube.ok()) return 1;
+  vecube::ElementComputer computer(shape, &*cube);
+  auto store = computer.Materialize(vecube::CubeOnlySet(shape));
+  if (!store.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  auto population = vecube::ZipfViewPopulation(shape, &rng, 1.1);
+  if (!population.ok()) {
+    std::fprintf(stderr, "population failed: %s\n",
+                 population.status().ToString().c_str());
+    return 1;
+  }
+
+  // Pre-generate the query sequence so every run serves the same traffic.
+  std::vector<vecube::ElementId> sequence;
+  sequence.reserve(queries);
+  for (uint64_t q = 0; q < queries; ++q) {
+    sequence.push_back(population->Sample(&rng));
+  }
+
+  // Uncached baseline and single-threaded reference answers.
+  vecube::AssemblyEngine reference(&*store);
+  uint64_t baseline_ops = 0;
+  std::map<vecube::ElementId, vecube::Tensor> expected;
+  for (const vecube::ElementId& view : sequence) {
+    baseline_ops += reference.PlanCost(view);
+    if (!expected.count(view)) {
+      auto data = reference.Assemble(view);
+      if (!data.ok()) {
+        std::fprintf(stderr, "reference assembly failed: %s\n",
+                     data.status().ToString().c_str());
+        return 1;
+      }
+      expected.emplace(view, std::move(data).value());
+    }
+  }
+  std::printf("  %zu distinct views, baseline %llu assembly ops\n",
+              expected.size(),
+              static_cast<unsigned long long>(baseline_ops));
+
+  std::vector<uint32_t> thread_counts;
+  for (uint32_t t : {1u, 4u, 8u}) {
+    if (t == 1 || t <= max_threads) thread_counts.push_back(t);
+  }
+
+  std::vector<RunResult> results;
+  for (uint32_t threads : thread_counts) {
+    RunResult run;
+    run.threads = threads;
+    run.best_ms = 1e300;
+    double checksum = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      vecube::ViewCacheOptions cache_options;
+      cache_options.enabled = true;
+      vecube::ViewCache cache(cache_options);
+
+      std::vector<uint64_t> ops_by_thread(threads, 0);
+      std::vector<double> sum_by_thread(threads, 0.0);
+      std::vector<int> failed(threads, 0);
+      const auto start = std::chrono::steady_clock::now();
+      {
+        std::vector<std::thread> workers;
+        workers.reserve(threads);
+        for (uint32_t w = 0; w < threads; ++w) {
+          workers.emplace_back([&, w]() {
+            vecube::AssemblyEngine engine(&*store);
+            const uint64_t lo = queries * w / threads;
+            const uint64_t hi = queries * (w + 1) / threads;
+            for (uint64_t q = lo; q < hi; ++q) {
+              const vecube::ElementId& view = sequence[q];
+              auto element = cache.Lookup(view);
+              if (element == nullptr) {
+                vecube::OpCounter ops;
+                auto data = engine.Assemble(view, &ops);
+                if (!data.ok()) {
+                  failed[w] = 1;
+                  return;
+                }
+                ops_by_thread[w] += ops.adds;
+                element = cache.Insert(view, std::move(data).value(),
+                                       engine.PlanCost(view));
+              }
+              sum_by_thread[w] += (*element)[0];
+            }
+          });
+        }
+        for (std::thread& worker : workers) worker.join();
+      }
+      const double ms = MillisSince(start);
+      for (uint32_t w = 0; w < threads; ++w) {
+        if (failed[w]) {
+          std::fprintf(stderr, "FAIL: worker assembly error\n");
+          return 1;
+        }
+      }
+      // Snapshot counters before the verification pass below adds its own
+      // lookups, so the reported numbers describe the timed workload only.
+      const vecube::ServeMetrics metrics = cache.Metrics();
+
+      // Bit-exact check: every entry still resident matches the reference.
+      uint64_t verified = 0;
+      for (const auto& [id, tensor] : expected) {
+        auto cached = cache.Lookup(id);
+        if (cached == nullptr) continue;  // evicted — nothing to compare
+        if (cached->data() != tensor.data()) {
+          std::fprintf(stderr, "FAIL: cached %s differs from reference\n",
+                       id.ToString().c_str());
+          return 1;
+        }
+        ++verified;
+      }
+      if (verified == 0) {
+        std::fprintf(stderr, "FAIL: nothing resident to verify\n");
+        return 1;
+      }
+
+      double total = 0.0;
+      uint64_t executed = 0;
+      for (uint32_t w = 0; w < threads; ++w) {
+        total += sum_by_thread[w];
+        executed += ops_by_thread[w];
+      }
+      if (checksum == 0.0) {
+        checksum = total;
+      } else if (total != checksum) {
+        std::fprintf(stderr, "FAIL: checksum drifted across reps\n");
+        return 1;
+      }
+
+      if (ms < run.best_ms) {
+        run.best_ms = ms;
+        run.hits = metrics.hits;
+        run.misses = metrics.misses;
+        run.ops_saved = metrics.assembly_ops_saved;
+        run.evictions = metrics.evictions;
+        run.ops_executed = executed;
+      }
+    }
+    results.push_back(run);
+    std::printf("  threads=%-3u best of %d: %10.2f ms   hit_rate=%.4f "
+                "ops_saved=%llu executed=%llu evictions=%llu\n",
+                run.threads, kReps, run.best_ms, run.HitRate(),
+                static_cast<unsigned long long>(run.ops_saved),
+                static_cast<unsigned long long>(run.ops_executed),
+                static_cast<unsigned long long>(run.evictions));
+  }
+
+  for (const RunResult& run : results) {
+    if (queries >= 1000 && run.HitRate() < 0.90) {
+      std::fprintf(stderr,
+                   "FAIL: hit rate %.4f below 0.90 at %u threads\n",
+                   run.HitRate(), run.threads);
+      return 1;
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"concurrent_view_serving\",\n");
+  std::fprintf(json, "  \"extent\": %u,\n  \"ndim\": %u,\n", extent, ndim);
+  std::fprintf(json, "  \"queries\": %llu,\n",
+               static_cast<unsigned long long>(queries));
+  std::fprintf(json, "  \"distinct_views\": %zu,\n", expected.size());
+  std::fprintf(json, "  \"zipf_skew\": 1.1,\n");
+  std::fprintf(json, "  \"baseline_ops\": %llu,\n",
+               static_cast<unsigned long long>(baseline_ops));
+  std::fprintf(json, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& run = results[i];
+    std::fprintf(json,
+                 "    {\"threads\": %u, \"best_ms\": %.3f, \"hits\": %llu, "
+                 "\"misses\": %llu, \"hit_rate\": %.4f, \"ops_saved\": %llu, "
+                 "\"ops_executed\": %llu, \"evictions\": %llu}%s\n",
+                 run.threads, run.best_ms,
+                 static_cast<unsigned long long>(run.hits),
+                 static_cast<unsigned long long>(run.misses), run.HitRate(),
+                 static_cast<unsigned long long>(run.ops_saved),
+                 static_cast<unsigned long long>(run.ops_executed),
+                 static_cast<unsigned long long>(run.evictions),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("  wrote BENCH_serve.json\n");
+  return 0;
+}

@@ -53,6 +53,9 @@ OlapSession::OlapSession(CubeShape shape, Tensor cube, Options options)
     checker_ =
         std::make_unique<InvariantChecker>(shape_, options.verify_options);
   }
+  if (options.view_cache.enabled) {
+    cache_ = std::make_unique<ViewCache>(options.view_cache);
+  }
 }
 
 Status OlapSession::VerifyFullState() {
@@ -351,6 +354,9 @@ Result<std::unique_ptr<OlapSession>> OlapSession::OpenDurable(
     ++session->stats_.wal_replayed;
   }
   session->wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+  // Replayed deltas staled any answers cached before the crash; the cache
+  // is in-memory only, but flush defensively in case construction warmed it.
+  if (session->cache_ != nullptr) session->cache_->InvalidateAll();
   session->RebuildEngines();
   VECUBE_RETURN_NOT_OK(session->VerifyFullState());
   return session;
@@ -388,6 +394,7 @@ Result<RepairReport> OlapSession::Repair() {
     report.assembly_ops += count_report.assembly_ops;
   }
   std::sort(report.repaired.begin(), report.repaired.end());
+  if (cache_ != nullptr) cache_->InvalidateAll();
   RebuildEngines();
   VECUBE_RETURN_NOT_OK(VerifyFullState());
   return report;
@@ -396,7 +403,7 @@ Result<RepairReport> OlapSession::Repair() {
 void OlapSession::RebuildEngines() {
   engine_ = std::make_unique<AssemblyEngine>(&store_, pool_.get());
   range_engine_ = std::make_unique<RangeEngine>(
-      &store_, MissingElementPolicy::kAssemble, pool_.get());
+      &store_, MissingElementPolicy::kAssemble, pool_.get(), cache_.get());
   if (count_store_.has_value()) {
     count_engine_ =
         std::make_unique<AssemblyEngine>(&*count_store_, pool_.get());
@@ -454,6 +461,9 @@ Status OlapSession::Optimize() {
                             count_computer.Materialize(target_set));
     count_store_ = std::move(next_counts);
   }
+  // The materialized set changed wholesale; cached entries keep correct
+  // values but stale rebuild costs, so flush rather than patch.
+  if (cache_ != nullptr) cache_->InvalidateAll();
   RebuildEngines();
   ++stats_.optimizations;
   VECUBE_RETURN_NOT_OK(VerifyFullState());
@@ -495,6 +505,9 @@ Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
   }
   // Element data changed in place; plans (which depend only on which
   // elements exist) remain valid, so no engine invalidation is needed.
+  // Cached *answers* are another story: every view element is a linear
+  // functional of the cube, so this delta staled every one of them.
+  if (cache_ != nullptr) cache_->InvalidateAll();
   VECUBE_RETURN_NOT_OK(VerifyAfterUpdate());
   if (wal_ != nullptr && options_.durability.checkpoint_every > 0 &&
       wal_->records_in_log() >= options_.durability.checkpoint_every) {
@@ -539,10 +552,24 @@ Result<Tensor> OlapSession::ViewByMask(uint32_t aggregated_mask) {
 }
 
 Result<Tensor> OlapSession::Element(const ElementId& id) {
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const Tensor> cached = cache_->Lookup(id)) {
+      // Bit-exact with a fresh assembly (determinism invariant); no ops
+      // were spent, so there is no measured count to verify.
+      ++stats_.queries;
+      if (options_.track_accesses) tracker_.Record(id);
+      return *cached;
+    }
+  }
   OpCounter ops;
   Tensor answer;
   VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(id, &ops));
   VECUBE_RETURN_NOT_OK(VerifyOpCount(id, ops.adds));
+  if (cache_ != nullptr) {
+    // PlanCost is memoized from the assembly that just ran — exactly the
+    // ops a future hit on this entry will save.
+    cache_->Insert(id, answer, engine_->PlanCost(id));
+  }
   ++stats_.queries;
   stats_.assembly_ops += ops.adds;
   if (options_.track_accesses) tracker_.Record(id);

@@ -31,6 +31,7 @@
 #include "cube/shape.h"
 #include "cube/tensor.h"
 #include "range/range_engine.h"
+#include "serve/view_cache.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 #include "verify/invariants.h"
@@ -80,6 +81,15 @@ struct OlapSessionOptions {
   /// Crash durability: WAL-before-apply on AddFact, checkpoint snapshots,
   /// OpenDurable() recovery. See DurabilityOptions.
   DurabilityOptions durability = {};
+  /// Serving cache (src/serve): memoizes assembled SUM-side element
+  /// tensors across Element()/ViewByMask()/RangeSum() with
+  /// benefit-weighted eviction. Off unless view_cache.enabled. Cached
+  /// answers are bit-exact with uncached ones (assembly is
+  /// deterministic); the cache is flushed wholesale by AddFact()/WAL
+  /// replay (a point delta stales every element) and by
+  /// Optimize()/Repair() (the materialized set changes). The COUNT side
+  /// (AvgByMask) is never cached — its elements share ids with SUM ones.
+  ViewCacheOptions view_cache = {};
   /// Execution lanes for assembly (Haar kernels chunk their row loops,
   /// batch assembly fans out across targets). 0 = hardware concurrency;
   /// 1 = fully serial, bit- and count-identical to the single-threaded
@@ -176,6 +186,12 @@ class OlapSession {
   /// Violation accounting when Options::verify_invariants is on; null
   /// otherwise.
   [[nodiscard]] const InvariantChecker* invariant_checker() const { return checker_.get(); }
+  /// True when the serving cache is active.
+  [[nodiscard]] bool caching() const { return cache_ != nullptr; }
+  /// Serving-cache counters; a zeroed struct when the cache is disabled.
+  [[nodiscard]] ServeMetrics serve_metrics() const {
+    return cache_ != nullptr ? cache_->Metrics() : ServeMetrics{};
+  }
 
  private:
   OlapSession(CubeShape shape, Tensor cube, Options options);
@@ -207,6 +223,7 @@ class OlapSession {
   std::unique_ptr<AssemblyEngine> engine_;
   std::unique_ptr<AssemblyEngine> count_engine_;
   std::unique_ptr<RangeEngine> range_engine_;
+  std::unique_ptr<ViewCache> cache_;  // null unless view_cache.enabled
   AccessTracker tracker_;
   std::optional<QueryPopulation> declared_workload_;
   std::unique_ptr<WriteAheadLog> wal_;  // null unless durability enabled

@@ -18,6 +18,21 @@ void AccessTracker::Record(const ElementId& id) {
   entry.weight = DecayedWeight(entry) + 1.0;
   entry.touched = generation_;
   ++total_;
+  // Amortized sweep: the map holds at most the sweep's survivors plus
+  // one interval of fresh entries, so a long-tailed workload over
+  // millions of distinct views stays bounded. Decay 1.0 never shrinks
+  // weights, so pruning would silently drop real history — skip it.
+  if (decay_ < 1.0 && generation_ % kPruneInterval == 0) Prune();
+}
+
+void AccessTracker::Prune() {
+  for (auto it = weights_.begin(); it != weights_.end();) {
+    if (DecayedWeight(it->second) < kPruneEpsilon) {
+      it = weights_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<std::pair<ElementId, double>> AccessTracker::Distribution() const {

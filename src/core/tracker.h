@@ -11,6 +11,15 @@
 // keeps the query hot path O(1) per recorded access instead of the
 // O(#distinct elements) eager sweep, with identical semantics (up to
 // floating-point rounding of pow vs. repeated multiplication).
+//
+// Memory is bounded under decaying workloads: every kPruneInterval
+// recorded accesses, entries whose decayed weight has fallen below
+// kPruneEpsilon are erased (their contribution to the normalized
+// distribution is below any drift threshold's resolution). A long tail
+// of once-touched views therefore occupies O(survivors + interval)
+// map slots instead of growing without bound. With decay == 1.0 weights
+// never shrink, so nothing is ever pruned (plain counting keeps exact
+// history by design).
 
 #ifndef VECUBE_CORE_TRACKER_H_
 #define VECUBE_CORE_TRACKER_H_
@@ -35,6 +44,10 @@ class AccessTracker {
 
   [[nodiscard]] uint64_t total_accesses() const { return total_; }
 
+  /// Number of distinct ids currently holding a map slot. Bounded under
+  /// decay < 1 by the amortized prune in Record().
+  [[nodiscard]] size_t tracked_count() const { return weights_.size(); }
+
   /// Normalized frequency distribution over observed ids (sums to 1);
   /// empty if nothing recorded. Deterministically ordered by id.
   std::vector<std::pair<ElementId, double>> Distribution() const;
@@ -47,6 +60,11 @@ class AccessTracker {
 
   void Reset();
 
+  /// Decayed weights below this are treated as vanished and pruned.
+  static constexpr double kPruneEpsilon = 1e-10;
+  /// Recorded accesses between amortized prune sweeps.
+  static constexpr uint64_t kPruneInterval = 512;
+
  private:
   struct Entry {
     double weight = 0.0;     ///< weight as of generation `touched`
@@ -55,6 +73,9 @@ class AccessTracker {
 
   /// `entry`'s weight decayed to the current generation.
   double DecayedWeight(const Entry& entry) const;
+
+  /// Erases entries whose decayed weight is below kPruneEpsilon.
+  void Prune();
 
   double decay_;
   uint64_t total_ = 0;

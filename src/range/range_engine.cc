@@ -7,10 +7,12 @@
 namespace vecube {
 
 RangeEngine::RangeEngine(const ElementStore* store,
-                         MissingElementPolicy policy, ThreadPool* pool)
+                         MissingElementPolicy policy, ThreadPool* pool,
+                         ViewCache* cache)
     : store_(store),
       policy_(policy),
       engine_(store, pool),
+      cache_(cache),
       assembled_cache_(store->shape()) {
   VECUBE_CHECK(store != nullptr);
 }
@@ -47,8 +49,21 @@ Result<double> RangeEngine::RangeSum(const RangeSpec& range,
     VECUBE_ASSIGN_OR_RETURN(id, ElementId::Intermediate(levels, shape));
 
     const Tensor* element = nullptr;
+    std::shared_ptr<const Tensor> cached;  // keeps a cache hit alive
     if (store_->Contains(id)) {
       VECUBE_ASSIGN_OR_RETURN(element, store_->Get(id));
+    } else if (cache_ != nullptr &&
+               policy_ == MissingElementPolicy::kAssemble) {
+      cached = cache_->Lookup(id);
+      if (cached == nullptr) {
+        if (stats != nullptr) ++stats->elements_missing;
+        OpCounter ops;
+        Tensor data;
+        VECUBE_ASSIGN_OR_RETURN(data, engine_.Assemble(id, &ops));
+        if (stats != nullptr) stats->assembly_ops += ops.adds;
+        cached = cache_->Insert(id, std::move(data), engine_.PlanCost(id));
+      }
+      element = cached.get();
     } else if (assembled_cache_.Contains(id)) {
       VECUBE_ASSIGN_OR_RETURN(element, assembled_cache_.Get(id));
     } else if (policy_ == MissingElementPolicy::kAssemble) {

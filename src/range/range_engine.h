@@ -16,6 +16,7 @@
 #include "core/store.h"
 #include "cube/tensor.h"
 #include "range/range.h"
+#include "serve/view_cache.h"
 #include "util/result.h"
 
 namespace vecube {
@@ -38,12 +39,17 @@ struct RangeQueryStats {
 
 class RangeEngine {
  public:
-  /// Borrows the store (and pool, if given); the caller keeps both alive.
-  /// The pool parallelizes on-demand assembly of missing elements.
+  /// Borrows the store (and pool and cache, if given); the caller keeps
+  /// all three alive. The pool parallelizes on-demand assembly of missing
+  /// elements. When `cache` is non-null, missing intermediate elements
+  /// are looked up / retained there (sharing the serving layer's
+  /// benefit-weighted residency and metrics with view queries) instead of
+  /// in the engine's private unbounded store.
   explicit RangeEngine(const ElementStore* store,
                        MissingElementPolicy policy =
                            MissingElementPolicy::kAssemble,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr,
+                       ViewCache* cache = nullptr);
 
   /// S(G(A)) of Eq. 36 via the dyadic decomposition. `stats` optional.
   Result<double> RangeSum(const RangeSpec& range,
@@ -53,7 +59,9 @@ class RangeEngine {
   const ElementStore* store_;
   MissingElementPolicy policy_;
   AssemblyEngine engine_;
-  /// Elements assembled on demand under kAssemble, cached across queries.
+  ViewCache* cache_;  // shared serving cache; null = private store below
+  /// Elements assembled on demand under kAssemble when no shared cache
+  /// was supplied, kept across queries (unbounded).
   ElementStore assembled_cache_;
 };
 

@@ -3,6 +3,7 @@
 #include "core/basis.h"
 #include "select/algorithm1.h"
 #include "select/algorithm2.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "workload/population.h"
 
@@ -18,15 +19,37 @@ Result<std::unique_ptr<DynamicAssembler>> DynamicAssembler::Make(
   VECUBE_RETURN_NOT_OK(
       assembler->store_.Put(ElementId::Root(shape.ndim()), cube));
   assembler->engine_ = std::make_unique<AssemblyEngine>(&assembler->store_);
+  if (options.cache.enabled) {
+    assembler->cache_ = std::make_unique<ViewCache>(options.cache);
+  }
   return assembler;
 }
 
 Result<Tensor> DynamicAssembler::Query(const ElementId& view, OpCounter* ops) {
   Tensor answer;
-  VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(view, ops));
+  bool served_from_cache = false;
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const Tensor> cached = cache_->Lookup(view)) {
+      answer = *cached;
+      served_from_cache = true;
+    }
+  }
+  if (!served_from_cache) {
+    VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(view, ops));
+    if (cache_ != nullptr) {
+      // PlanCost is memoized from the assembly that just ran — a table
+      // lookup, and exactly the ops a future hit will save.
+      cache_->Insert(view, answer, engine_->PlanCost(view));
+    }
+  }
   tracker_.Record(view);
   ++queries_served_;
-  VECUBE_RETURN_NOT_OK(MaybeReconfigure());
+  // The query was answered; a failed adaptation is a background-health
+  // event, not a query error. Record it and return the answer anyway.
+  if (Status reconfig = MaybeReconfigure(); !reconfig.ok()) {
+    last_reconfig_error_ = std::move(reconfig);
+    ++reconfig_failures_;
+  }
   return answer;
 }
 
@@ -42,6 +65,10 @@ Status DynamicAssembler::MaybeReconfigure() {
 }
 
 Status DynamicAssembler::Reconfigure() {
+  if (Failpoints::Hit("dynamic.reconfigure").has_value()) {
+    return Status::Internal(
+        "injected reconfiguration failure (failpoint dynamic.reconfigure)");
+  }
   const auto distribution = tracker_.Distribution();
   if (distribution.empty()) {
     return Status::FailedPrecondition("no accesses observed yet");
@@ -64,7 +91,13 @@ Status DynamicAssembler::Reconfigure() {
     std::vector<GreedyStep> frontier;
     VECUBE_ASSIGN_OR_RETURN(
         frontier, GreedySelect(shape_, population, target_set, greedy));
-    target_set = frontier.back().selected;
+    // An empty frontier (budget already satisfied, or no admissible
+    // candidates at all) means the greedy pass selected nothing beyond
+    // the basis; frontier.back() would be undefined behavior. The
+    // Algorithm-1 basis stays the target set in that case.
+    if (!frontier.empty()) {
+      target_set = frontier.back().selected;
+    }
   }
 
   // Migrate: assemble every element of the new set from the current store
@@ -77,9 +110,13 @@ Status DynamicAssembler::Reconfigure() {
   }
   store_ = std::move(next);
   engine_ = std::make_unique<AssemblyEngine>(&store_);
+  // The materialized set changed wholesale: every cached entry's rebuild
+  // cost (its eviction score) is stale, so flush rather than patch.
+  if (cache_ != nullptr) cache_->InvalidateAll();
   baseline_distribution_ = distribution;
   queries_at_last_reconfig_ = queries_served_;
   ++reconfigurations_;
+  last_reconfig_error_ = Status::OK();
   return Status::OK();
 }
 

@@ -25,6 +25,7 @@
 #include "core/tracker.h"
 #include "cube/shape.h"
 #include "cube/tensor.h"
+#include "serve/view_cache.h"
 #include "util/result.h"
 
 namespace vecube {
@@ -40,6 +41,10 @@ struct DynamicOptions {
   /// If > 0, after Algorithm 1 run the greedy Algorithm 2 up to this
   /// storage budget (in cells) to add redundant elements.
   uint64_t storage_budget_cells = 0;
+  /// Serving cache in front of the assembly loop (src/serve): memoizes
+  /// assembled answers with benefit-weighted eviction. Off unless
+  /// cache.enabled; flushed wholesale on every reconfiguration.
+  ViewCacheOptions cache = {};
 };
 
 /// Serves aggregated-view queries over an adaptively chosen element basis.
@@ -50,16 +55,37 @@ class DynamicAssembler {
       const CubeShape& shape, const Tensor& cube, DynamicOptions options);
 
   /// Answers a query for `view`, records the access, and possibly
-  /// reconfigures *after* answering. `ops` accrues assembly operations.
+  /// reconfigures *after* answering. `ops` accrues assembly operations
+  /// (nothing on a cache hit). A failed reconfiguration never discards
+  /// the already-assembled answer: it is recorded in
+  /// last_reconfig_error() / reconfiguration_failures() and the answer
+  /// is returned; only the assembly itself failing yields an error.
   Result<Tensor> Query(const ElementId& view, OpCounter* ops = nullptr);
 
   /// Forces reselection against the currently observed distribution.
+  /// Instrumented with the "dynamic.reconfigure" failpoint so tests can
+  /// inject deterministic failures.
   Status Reconfigure();
 
   [[nodiscard]] const ElementStore& store() const { return store_; }
   [[nodiscard]] uint64_t reconfiguration_count() const { return reconfigurations_; }
   [[nodiscard]] uint64_t queries_served() const { return queries_served_; }
   [[nodiscard]] const AccessTracker& tracker() const { return tracker_; }
+  /// Status of the most recent reconfiguration attempt triggered from
+  /// Query(); OK when none has failed since the last success.
+  [[nodiscard]] const Status& last_reconfig_error() const {
+    return last_reconfig_error_;
+  }
+  /// Reconfiguration attempts (from Query()) that failed.
+  [[nodiscard]] uint64_t reconfiguration_failures() const {
+    return reconfig_failures_;
+  }
+  /// Null when DynamicOptions::cache.enabled was false.
+  [[nodiscard]] const ViewCache* cache() const { return cache_.get(); }
+  /// Serving counters; a zeroed struct when the cache is disabled.
+  [[nodiscard]] ServeMetrics serve_metrics() const {
+    return cache_ != nullptr ? cache_->Metrics() : ServeMetrics{};
+  }
 
  private:
   DynamicAssembler(CubeShape shape, DynamicOptions options)
@@ -74,12 +100,15 @@ class DynamicAssembler {
   DynamicOptions options_;
   ElementStore store_;
   std::unique_ptr<AssemblyEngine> engine_;
+  std::unique_ptr<ViewCache> cache_;  // null unless options.cache.enabled
   AccessTracker tracker_;
   /// Distribution the current basis was selected against.
   std::vector<std::pair<ElementId, double>> baseline_distribution_;
   uint64_t queries_served_ = 0;
   uint64_t queries_at_last_reconfig_ = 0;
   uint64_t reconfigurations_ = 0;
+  uint64_t reconfig_failures_ = 0;
+  Status last_reconfig_error_ = Status::OK();
 };
 
 }  // namespace vecube

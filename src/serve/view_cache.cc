@@ -1,0 +1,151 @@
+#include "serve/view_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vecube {
+
+ViewCache::ViewCache(ViewCacheOptions options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.heat_decay <= 0.0 || options_.heat_decay > 1.0) {
+    options_.heat_decay = 1.0;
+  }
+  shard_capacity_bytes_ = options_.capacity_bytes / options_.shards;
+  shards_.reserve(options_.shards);
+  for (uint32_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ViewCache::Shard& ViewCache::ShardFor(const ElementId& id) {
+  return *shards_[ElementIdHash{}(id) % shards_.size()];
+}
+
+double ViewCache::DecayedHeat(const Shard& shard, const Entry& entry) const {
+  if (options_.heat_decay >= 1.0 || entry.heat == 0.0) return entry.heat;
+  const uint64_t gap = shard.generation - entry.touched;
+  if (gap == 0) return entry.heat;
+  return entry.heat *
+         std::pow(options_.heat_decay, static_cast<double>(gap));
+}
+
+double ViewCache::Score(const Shard& shard, const Entry& entry) const {
+  // Benefit of keeping the entry: expected near-future hits (the decayed
+  // hit weight) times what each hit saves (its Procedure-3 rebuild cost).
+  // The +1 keeps free-to-rebuild entries ordered by heat among
+  // themselves instead of collapsing to a zero tie.
+  return DecayedHeat(shard, entry) *
+         (1.0 + static_cast<double>(entry.assembly_cost));
+}
+
+void ViewCache::EvictForLocked(Shard* shard, uint64_t needed) {
+  while (!shard->map.empty() &&
+         shard->bytes + needed > shard_capacity_bytes_) {
+    auto victim = shard->map.begin();
+    double victim_score = Score(*shard, victim->second);
+    for (auto it = std::next(shard->map.begin()); it != shard->map.end();
+         ++it) {
+      const double score = Score(*shard, it->second);
+      if (score < victim_score) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    shard->bytes -= victim->second.bytes;
+    shard->map.erase(victim);
+    ++shard->evictions;
+  }
+}
+
+std::shared_ptr<const Tensor> ViewCache::Lookup(const ElementId& id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.generation;
+  auto it = shard.map.find(id);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  entry.heat = DecayedHeat(shard, entry) + 1.0;
+  entry.touched = shard.generation;
+  ++shard.hits;
+  shard.assembly_ops_saved += entry.assembly_cost;
+  return entry.data;
+}
+
+std::shared_ptr<const Tensor> ViewCache::Insert(const ElementId& id,
+                                                Tensor data,
+                                                uint64_t assembly_cost) {
+  const uint64_t bytes = data.size() * sizeof(double);
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.generation;
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    // First writer wins: assembly is deterministic, so a concurrent
+    // duplicate insert carries bit-identical data; keep the shared copy.
+    Entry& entry = it->second;
+    entry.heat = DecayedHeat(shard, entry) + 1.0;
+    entry.touched = shard.generation;
+    return entry.data;
+  }
+  auto shared = std::make_shared<const Tensor>(std::move(data));
+  if (bytes > shard_capacity_bytes_) {
+    ++shard.rejected_inserts;
+    return shared;
+  }
+  EvictForLocked(&shard, bytes);
+  Entry entry;
+  entry.data = shared;
+  entry.assembly_cost = assembly_cost;
+  entry.bytes = bytes;
+  entry.heat = 1.0;
+  entry.touched = shard.generation;
+  shard.map.emplace(id, std::move(entry));
+  shard.bytes += bytes;
+  ++shard.insertions;
+  return shared;
+}
+
+void ViewCache::Invalidate(const ElementId& id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it == shard.map.end()) return;
+  shard.bytes -= it->second.bytes;
+  shard.map.erase(it);
+  ++shard.invalidations;
+}
+
+uint64_t ViewCache::InvalidateAll() {
+  uint64_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->map.size();
+    shard->invalidations += shard->map.size();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+  return dropped;
+}
+
+ServeMetrics ViewCache::Metrics() const {
+  ServeMetrics metrics;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    metrics.hits += shard->hits;
+    metrics.misses += shard->misses;
+    metrics.insertions += shard->insertions;
+    metrics.rejected_inserts += shard->rejected_inserts;
+    metrics.evictions += shard->evictions;
+    metrics.invalidations += shard->invalidations;
+    metrics.entries += shard->map.size();
+    metrics.bytes_resident += shard->bytes;
+    metrics.assembly_ops_saved += shard->assembly_ops_saved;
+  }
+  return metrics;
+}
+
+}  // namespace vecube

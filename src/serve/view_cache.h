@@ -1,0 +1,161 @@
+// ViewCache: concurrent, benefit-weighted memoization of assembled view
+// element tensors — the serving layer in front of dynamic assembly.
+//
+// The paper's cost/benefit model turned into a replacement policy: every
+// resident entry carries the Procedure-3 assembly cost T_n it saved (the
+// add/subtract operations a cache miss would spend re-assembling it) and
+// an exponentially decayed hit weight (the same decayed-frequency
+// estimate AccessTracker keeps for the selection loop). The eviction
+// victim is the entry minimizing
+//
+//   score = decayed_hit_weight * (1 + T_n)
+//
+// i.e. we evict what is cold AND cheap to rebuild, and keep what is hot
+// or expensive — exactly the benefit metric Section 5 optimizes, applied
+// to cache residency instead of materialization.
+//
+// Concurrency: the key space is sharded by ElementId hash; each shard is
+// an independently locked map, so readers on different shards never
+// contend. Entries hand out shared_ptr<const Tensor>; invalidation drops
+// the cache's reference but in-flight readers keep theirs, so a flush
+// concurrent with a lookup is safe and the reader sees a complete,
+// internally consistent tensor (never a torn one).
+//
+// Invalidation model (see DESIGN.md §10): every view element is a linear
+// functional of the data cube, so a single point delta stales EVERY
+// cached tensor — delta hooks are a wholesale flush, not a per-key
+// invalidation. Reconfiguration/optimization swap the materialized set,
+// changing every entry's rebuild cost, so they flush too.
+
+#ifndef VECUBE_SERVE_VIEW_CACHE_H_
+#define VECUBE_SERVE_VIEW_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/element_id.h"
+#include "cube/tensor.h"
+
+namespace vecube {
+
+struct ViewCacheOptions {
+  /// Consumed by the embedding layers (OlapSession, DynamicAssembler):
+  /// when false they do not construct a cache at all. A directly
+  /// constructed ViewCache is always live.
+  bool enabled = false;
+  /// Total resident-data budget across all shards, in bytes of tensor
+  /// payload. Entries larger than capacity_bytes / shards are served but
+  /// never retained.
+  uint64_t capacity_bytes = uint64_t{64} << 20;
+  /// Number of independently locked shards (>= 1).
+  uint32_t shards = 8;
+  /// Per-shard-access exponential decay of entry hit weights, in (0, 1].
+  /// 1.0 = plain hit counting.
+  double heat_decay = 0.98;
+};
+
+/// Aggregate serving counters, queryable from the session and dumped by
+/// vecube_cli. A point-in-time snapshot across shards.
+struct ServeMetrics {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t rejected_inserts = 0;  ///< entries too large to ever retain
+  uint64_t evictions = 0;        ///< entries displaced by capacity pressure
+  uint64_t invalidations = 0;    ///< entries dropped by invalidate/flush
+  uint64_t entries = 0;          ///< currently resident
+  uint64_t bytes_resident = 0;   ///< payload bytes currently resident
+  /// Σ Procedure-3 cost over hits: assembly operations the cache saved.
+  uint64_t assembly_ops_saved = 0;
+
+  [[nodiscard]] double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Sharded, thread-safe memoization of assembled element tensors. All
+/// public methods are safe to call concurrently from any thread.
+class ViewCache {
+ public:
+  explicit ViewCache(ViewCacheOptions options = {});
+
+  ViewCache(const ViewCache&) = delete;
+  ViewCache& operator=(const ViewCache&) = delete;
+
+  /// Returns the cached tensor for `id`, or null on a miss. A hit bumps
+  /// the entry's decayed hit weight and credits its assembly cost to
+  /// assembly_ops_saved.
+  std::shared_ptr<const Tensor> Lookup(const ElementId& id);
+
+  /// Caches `data` for `id` with its Procedure-3 assembly cost and
+  /// returns a shared handle to it (also when the entry is too large to
+  /// retain — the caller can still serve from the returned pointer).
+  /// If `id` is already resident the existing tensor is kept (first
+  /// writer wins; concurrent assemblies of one element are bit-identical
+  /// by determinism) and returned. Evicts minimum-score entries in the
+  /// target shard until the new entry fits.
+  std::shared_ptr<const Tensor> Insert(const ElementId& id, Tensor data,
+                                       uint64_t assembly_cost);
+
+  /// Drops one entry if resident.
+  void Invalidate(const ElementId& id);
+
+  /// Wholesale flush — the delta / reconfiguration hook. Returns the
+  /// number of entries dropped.
+  uint64_t InvalidateAll();
+
+  [[nodiscard]] ServeMetrics Metrics() const;
+
+  [[nodiscard]] uint64_t capacity_bytes() const {
+    return options_.capacity_bytes;
+  }
+  [[nodiscard]] uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Tensor> data;
+    uint64_t assembly_cost = 0;
+    uint64_t bytes = 0;
+    double heat = 0.0;      ///< hit weight as of shard generation `touched`
+    uint64_t touched = 0;   ///< shard generation of the last hit/insert
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<ElementId, Entry, ElementIdHash> map;
+    uint64_t bytes = 0;
+    uint64_t generation = 0;  ///< one tick per lookup/insert in this shard
+    // Counters, guarded by mu.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t rejected_inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    uint64_t assembly_ops_saved = 0;
+  };
+
+  Shard& ShardFor(const ElementId& id);
+  /// `entry`'s hit weight decayed to the shard's current generation.
+  double DecayedHeat(const Shard& shard, const Entry& entry) const;
+  /// Benefit score: decayed heat * (1 + assembly cost). Callers hold mu.
+  double Score(const Shard& shard, const Entry& entry) const;
+  /// Evicts minimum-score entries until `needed` more bytes fit in the
+  /// shard budget. Callers hold mu.
+  void EvictForLocked(Shard* shard, uint64_t needed);
+
+  ViewCacheOptions options_;
+  uint64_t shard_capacity_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_SERVE_VIEW_CACHE_H_

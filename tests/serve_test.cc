@@ -1,0 +1,403 @@
+// Serving-layer tests: the ViewCache replacement policy and metrics in
+// isolation, the cached OlapSession's bit-exactness and invalidation
+// hooks, and a TSan-targeted concurrent stress round (readers racing an
+// invalidating writer; the suite name carries "Stress" into the CI TSan
+// test filter).
+
+#include "serve/view_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "core/computer.h"
+#include "core/element_id.h"
+#include "core/graph.h"
+#include "cube/synthetic.h"
+#include "cube/tensor.h"
+#include "util/rng.h"
+#include "workload/population.h"
+
+namespace vecube {
+namespace {
+
+// A 1-d tensor of `cells` doubles, all equal to `value`.
+Tensor MakeTensor(uint32_t cells, double value) {
+  auto tensor =
+      Tensor::FromData({cells}, std::vector<double>(cells, value));
+  EXPECT_TRUE(tensor.ok());
+  return std::move(tensor).value();
+}
+
+// Distinct ids over an 8x8 shape: one per (level0, level1) pyramid cell.
+std::vector<ElementId> PyramidIds(const CubeShape& shape, uint32_t count) {
+  std::vector<ElementId> ids;
+  for (uint32_t a = 0; a <= shape.log_extent(0) && ids.size() < count; ++a) {
+    for (uint32_t b = 0; b <= shape.log_extent(1) && ids.size() < count;
+         ++b) {
+      auto id = ElementId::Intermediate({a, b}, shape);
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+  }
+  EXPECT_EQ(ids.size(), count);
+  return ids;
+}
+
+TEST(ViewCacheTest, MissThenHitRoundTrips) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const std::vector<ElementId> ids = PyramidIds(*shape, 2);
+
+  EXPECT_EQ(cache.Lookup(ids[0]), nullptr);
+  auto inserted = cache.Insert(ids[0], MakeTensor(4, 7.0), 12);
+  ASSERT_NE(inserted, nullptr);
+  auto hit = cache.Lookup(ids[0]);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), inserted.get());
+  EXPECT_EQ((*hit)[0], 7.0);
+  EXPECT_EQ(cache.Lookup(ids[1]), nullptr);
+
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.hits, 1u);
+  EXPECT_EQ(metrics.misses, 2u);
+  EXPECT_EQ(metrics.insertions, 1u);
+  EXPECT_EQ(metrics.entries, 1u);
+  EXPECT_EQ(metrics.bytes_resident, 4 * sizeof(double));
+  EXPECT_EQ(metrics.assembly_ops_saved, 12u);
+  EXPECT_DOUBLE_EQ(metrics.HitRate(), 1.0 / 3.0);
+}
+
+TEST(ViewCacheTest, FirstWriterWinsOnDuplicateInsert) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const ElementId id = PyramidIds(*shape, 1)[0];
+
+  auto first = cache.Insert(id, MakeTensor(4, 1.0), 5);
+  auto second = cache.Insert(id, MakeTensor(4, 1.0), 5);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.Metrics().insertions, 1u);
+  EXPECT_EQ(cache.Metrics().entries, 1u);
+}
+
+TEST(ViewCacheTest, EvictsColdCheapBeforeHotExpensive) {
+  ViewCacheOptions options;
+  options.shards = 1;
+  options.capacity_bytes = 2 * 8 * sizeof(double);  // room for two entries
+  ViewCache cache(options);
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const std::vector<ElementId> ids = PyramidIds(*shape, 3);
+
+  // ids[0]: hot and expensive to rebuild. ids[1]: cold and free.
+  cache.Insert(ids[0], MakeTensor(8, 1.0), 1000);
+  for (int i = 0; i < 4; ++i) EXPECT_NE(cache.Lookup(ids[0]), nullptr);
+  cache.Insert(ids[1], MakeTensor(8, 2.0), 0);
+
+  // Full; the third entry must displace the minimum-score victim.
+  cache.Insert(ids[2], MakeTensor(8, 3.0), 50);
+  EXPECT_EQ(cache.Metrics().evictions, 1u);
+  EXPECT_NE(cache.Lookup(ids[0]), nullptr) << "hot/expensive entry evicted";
+  EXPECT_EQ(cache.Lookup(ids[1]), nullptr) << "cold/cheap entry kept";
+  EXPECT_NE(cache.Lookup(ids[2]), nullptr);
+}
+
+TEST(ViewCacheTest, CapacityIsEnforced) {
+  ViewCacheOptions options;
+  options.shards = 1;
+  options.capacity_bytes = 4 * 8 * sizeof(double);
+  ViewCache cache(options);
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const std::vector<ElementId> ids = PyramidIds(*shape, 12);
+
+  for (const ElementId& id : ids) {
+    cache.Insert(id, MakeTensor(8, 1.0), 1);
+    EXPECT_LE(cache.Metrics().bytes_resident, options.capacity_bytes);
+  }
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.entries, 4u);
+  EXPECT_EQ(metrics.evictions, 8u);
+}
+
+TEST(ViewCacheTest, OversizedEntryServedButNotRetained) {
+  ViewCacheOptions options;
+  options.shards = 1;
+  options.capacity_bytes = 8 * sizeof(double);
+  ViewCache cache(options);
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const ElementId id = PyramidIds(*shape, 1)[0];
+
+  auto served = cache.Insert(id, MakeTensor(64, 5.0), 9);
+  ASSERT_NE(served, nullptr);  // caller can still answer from this
+  EXPECT_EQ((*served)[0], 5.0);
+  EXPECT_EQ(cache.Lookup(id), nullptr);
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.rejected_inserts, 1u);
+  EXPECT_EQ(metrics.entries, 0u);
+  EXPECT_EQ(metrics.bytes_resident, 0u);
+}
+
+TEST(ViewCacheTest, InvalidateAllDropsEverythingAndAllowsFreshData) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const std::vector<ElementId> ids = PyramidIds(*shape, 6);
+
+  for (const ElementId& id : ids) cache.Insert(id, MakeTensor(4, 1.0), 3);
+  // An in-flight reader's handle must survive the flush.
+  auto held = cache.Lookup(ids[0]);
+  ASSERT_NE(held, nullptr);
+
+  EXPECT_EQ(cache.InvalidateAll(), 6u);
+  EXPECT_EQ(cache.Metrics().entries, 0u);
+  EXPECT_EQ(cache.Metrics().bytes_resident, 0u);
+  EXPECT_EQ(cache.Metrics().invalidations, 6u);
+  for (const ElementId& id : ids) EXPECT_EQ(cache.Lookup(id), nullptr);
+  EXPECT_EQ((*held)[0], 1.0);  // old handle still fully readable
+
+  // Post-flush inserts are new entries with the new data, not revivals.
+  auto fresh = cache.Insert(ids[0], MakeTensor(4, 2.0), 3);
+  EXPECT_NE(fresh.get(), held.get());
+  EXPECT_EQ((*cache.Lookup(ids[0]))[0], 2.0);
+}
+
+TEST(ViewCacheTest, TargetedInvalidateDropsOnlyThatEntry) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const std::vector<ElementId> ids = PyramidIds(*shape, 2);
+  cache.Insert(ids[0], MakeTensor(4, 1.0), 1);
+  cache.Insert(ids[1], MakeTensor(4, 2.0), 1);
+  cache.Invalidate(ids[0]);
+  EXPECT_EQ(cache.Lookup(ids[0]), nullptr);
+  EXPECT_NE(cache.Lookup(ids[1]), nullptr);
+  EXPECT_EQ(cache.Metrics().invalidations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Session-level behaviour: bit-exactness and invalidation hooks.
+
+OlapSessionOptions CachedOptions() {
+  OlapSessionOptions options;
+  options.view_cache.enabled = true;
+  return options;
+}
+
+TEST(ServeSessionTest, CachedServingIsBitExactAcrossWholeLattice) {
+  auto shape = CubeShape::Make({4, 4});
+  ASSERT_TRUE(shape.ok());
+  Rng rng(11);
+  auto cube = UniformIntegerCube(*shape, &rng, -9, 9);
+  ASSERT_TRUE(cube.ok());
+
+  auto cached = OlapSession::FromCube(*shape, *cube, CachedOptions());
+  auto plain = OlapSession::FromCube(*shape, *cube);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE((*cached)->caching());
+  ASSERT_FALSE((*plain)->caching());
+
+  const ViewElementGraph graph(*shape);
+  for (int pass = 0; pass < 2; ++pass) {
+    graph.ForEachElement([&](const ElementId& id) {
+      auto from_cache = (*cached)->Element(id);
+      auto reference = (*plain)->Element(id);
+      ASSERT_TRUE(from_cache.ok());
+      ASSERT_TRUE(reference.ok());
+      // Bit-exact, not approximate: data() compares doubles exactly.
+      EXPECT_EQ(from_cache->data(), reference->data()) << id.ToString();
+    });
+  }
+  const ServeMetrics metrics = (*cached)->serve_metrics();
+  EXPECT_GE(metrics.hits, graph.NumElements());  // pass 2 is all hits
+  EXPECT_GT(metrics.assembly_ops_saved, 0u);
+}
+
+TEST(ServeSessionTest, RepeatViewQueriesAreServedFromCache) {
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  Rng rng(12);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 20);
+  ASSERT_TRUE(cube.ok());
+  auto session = OlapSession::FromCube(*shape, *cube, CachedOptions());
+  ASSERT_TRUE(session.ok());
+
+  auto first = (*session)->ViewByMask(3);
+  ASSERT_TRUE(first.ok());
+  const uint64_t ops_after_first = (*session)->stats().assembly_ops;
+  auto second = (*session)->ViewByMask(3);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->data(), second->data());
+  // The repeat spent no assembly ops.
+  EXPECT_EQ((*session)->stats().assembly_ops, ops_after_first);
+  EXPECT_GE((*session)->serve_metrics().hits, 1u);
+}
+
+TEST(ServeSessionTest, RangeQueriesShareTheServingCache) {
+  auto shape = CubeShape::Make({16, 16});
+  ASSERT_TRUE(shape.ok());
+  Rng rng(13);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 9);
+  ASSERT_TRUE(cube.ok());
+  auto session = OlapSession::FromCube(*shape, *cube, CachedOptions());
+  ASSERT_TRUE(session.ok());
+
+  auto range = RangeSpec::Make({1, 2}, {13, 11}, *shape);
+  ASSERT_TRUE(range.ok());
+  auto first = (*session)->RangeSum(*range);
+  ASSERT_TRUE(first.ok());
+  const ServeMetrics after_first = (*session)->serve_metrics();
+  EXPECT_GT(after_first.insertions, 0u);  // missing intermediates retained
+
+  auto second = (*session)->RangeSum(*range);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  const ServeMetrics after_second = (*session)->serve_metrics();
+  EXPECT_EQ(after_second.insertions, after_first.insertions);
+  EXPECT_GT(after_second.hits, after_first.hits);
+
+  // And the answer is right: naive summation agrees.
+  auto naive = NaiveRangeSum(*cube, *shape, *range);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_NEAR(*first, *naive, 1e-9);
+}
+
+TEST(ServeSessionTest, AddFactInvalidatesCachedAnswers) {
+  auto shape = CubeShape::Make({4, 4});
+  ASSERT_TRUE(shape.ok());
+  Rng rng(14);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 9);
+  ASSERT_TRUE(cube.ok());
+  auto session = OlapSession::FromCube(*shape, *cube, CachedOptions());
+  ASSERT_TRUE(session.ok());
+
+  auto before = (*session)->ViewByMask(3);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*session)->AddFact({2, 3}, 5.0).ok());
+  EXPECT_GT((*session)->serve_metrics().invalidations, 0u);
+
+  auto after = (*session)->ViewByMask(3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0], (*before)[0] + 5.0);
+
+  // Cross-check against a fresh session over the updated cube.
+  Tensor updated = *cube;
+  updated[updated.FlatIndex({2, 3})] += 5.0;
+  auto fresh = OlapSession::FromCube(*shape, updated);
+  ASSERT_TRUE(fresh.ok());
+  auto expected = (*fresh)->ViewByMask(3);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(after->data(), expected->data());
+}
+
+TEST(ServeSessionTest, OptimizeFlushesTheCache) {
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  Rng rng(15);
+  auto cube = UniformIntegerCube(*shape, &rng, 0, 9);
+  ASSERT_TRUE(cube.ok());
+  auto session = OlapSession::FromCube(*shape, *cube, CachedOptions());
+  ASSERT_TRUE(session.ok());
+
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    ASSERT_TRUE((*session)->ViewByMask(mask).ok());
+  }
+  ASSERT_GT((*session)->serve_metrics().entries, 0u);
+
+  Rng wrng(16);
+  auto population = ZipfViewPopulation(*shape, &wrng, 1.0);
+  ASSERT_TRUE(population.ok());
+  ASSERT_TRUE((*session)->DeclareWorkload(*population).ok());
+  ASSERT_TRUE((*session)->Optimize().ok());
+  EXPECT_GT((*session)->serve_metrics().invalidations, 0u);
+
+  // Post-flush answers still agree with an uncached session.
+  auto plain = OlapSession::FromCube(*shape, *cube);
+  ASSERT_TRUE(plain.ok());
+  for (uint32_t mask = 0; mask < 4; ++mask) {
+    auto got = (*session)->ViewByMask(mask);
+    auto expected = (*plain)->ViewByMask(mask);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(got->data(), expected->data());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: readers race inserts and wholesale invalidation. Run under
+// TSan by the CI tsan job (suite name matches its -R filter). Tensors are
+// version-stamped — every cell equals the version — so a reader can
+// detect a torn or partially published tensor without any external
+// synchronization with the writer.
+
+TEST(ServeStressTest, ConcurrentReadersSurviveInvalidatingWriter) {
+  ViewCacheOptions options;
+  options.shards = 4;
+  options.capacity_bytes = 1u << 16;
+  ViewCache cache(options);
+  auto shape_result = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape_result.ok());
+  const CubeShape shape = *shape_result;
+  const std::vector<ElementId> ids = PyramidIds(shape, 16);
+
+  constexpr int kReaders = 4;
+  constexpr int kReaderRounds = 3000;
+  constexpr int kWriterRounds = 200;
+  std::atomic<uint64_t> version{1};
+  std::atomic<int> inconsistencies{0};
+  std::atomic<uint64_t> hits{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(0x5e7e + static_cast<uint64_t>(r));
+      for (int round = 0; round < kReaderRounds; ++round) {
+        const ElementId& id = ids[rng.UniformU64(ids.size())];
+        auto tensor = cache.Lookup(id);
+        if (tensor == nullptr) {
+          const double v = static_cast<double>(version.load());
+          tensor = cache.Insert(id, MakeTensor(16, v),
+                                /*assembly_cost=*/rng.UniformU64(100));
+        } else {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Internal consistency: a handed-out tensor is never torn.
+        const double first = (*tensor)[0];
+        for (uint64_t i = 1; i < tensor->size(); ++i) {
+          if ((*tensor)[i] != first) {
+            inconsistencies.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int round = 0; round < kWriterRounds; ++round) {
+      version.fetch_add(1);
+      cache.InvalidateAll();
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& reader : readers) reader.join();
+  writer.join();
+
+  EXPECT_EQ(inconsistencies.load(), 0);
+  EXPECT_GT(hits.load(), 0u);
+  // Counters survived the races coherently: resident set within budget.
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_LE(metrics.bytes_resident, options.capacity_bytes);
+  EXPECT_EQ(metrics.hits, hits.load());
+}
+
+}  // namespace
+}  // namespace vecube

@@ -82,6 +82,72 @@ TEST(TrackerTest, DriftTwoForDisjointDistributions) {
       1e-12);
 }
 
+// Distinct ids on demand: deep-level codes over a 256x256 shape give
+// 2^16 addressable elements.
+std::vector<ElementId> DistinctIds(size_t count) {
+  auto shape = CubeShape::Make({256, 256});
+  EXPECT_TRUE(shape.ok());
+  std::vector<ElementId> ids;
+  ids.reserve(count);
+  for (uint32_t o1 = 0; o1 < 256 && ids.size() < count; ++o1) {
+    for (uint32_t o2 = 0; o2 < 256 && ids.size() < count; ++o2) {
+      auto id = ElementId::Make({DimCode{8, o1}, DimCode{8, o2}}, *shape);
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+  }
+  EXPECT_EQ(ids.size(), count);
+  return ids;
+}
+
+// Regression: weights_ grew without bound — one map slot per distinct id
+// ever recorded, forever, even with decay rendering the tail weightless.
+TEST(TrackerTest, LongTailOfColdIdsIsPrunedUnderDecay) {
+  AccessTracker tracker(0.9);
+  const std::vector<ElementId> ids = DistinctIds(20000);
+  for (const ElementId& id : ids) tracker.Record(id);
+  // With decay 0.9 a once-touched weight sinks below kPruneEpsilon after
+  // ~219 further records; only the recent tail (plus at most one prune
+  // interval of slack) may hold slots.
+  EXPECT_LT(tracker.tracked_count(), 2048u);
+  EXPECT_EQ(tracker.total_accesses(), 20000u);
+  const auto dist = tracker.Distribution();
+  EXPECT_EQ(dist.size(), tracker.tracked_count());
+  double total = 0.0;
+  for (const auto& [id, f] : dist) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TrackerTest, HotEntrySurvivesPruning) {
+  const CubeShape shape = Shape44();
+  AccessTracker tracker(0.9);
+  auto hot = ElementId::AggregatedView(3, shape);
+  const std::vector<ElementId> tail = DistinctIds(8000);
+  for (const ElementId& id : tail) {
+    tracker.Record(id);
+    tracker.Record(*hot);  // every other access keeps the hot id warm
+  }
+  EXPECT_LT(tracker.tracked_count(), 2048u);
+  double hot_freq = 0.0;
+  for (const auto& [id, f] : tracker.Distribution()) {
+    if (id == *hot) hot_freq = f;
+  }
+  // The hot id holds its analytic share of the surviving mass: with the
+  // alternating pattern it carries 1/(1-0.81) ≈ 5.26 of ~10 total weight.
+  EXPECT_GT(hot_freq, 0.45);
+}
+
+TEST(TrackerTest, PlainCountingNeverPrunes) {
+  AccessTracker tracker(1.0);
+  const std::vector<ElementId> ids = DistinctIds(3000);
+  for (const ElementId& id : ids) tracker.Record(id);
+  // Decay 1.0 keeps exact history: pruning would silently drop real
+  // counts, so every id must still be tracked (3000 > several prune
+  // intervals — the sweep must not have engaged).
+  EXPECT_EQ(tracker.tracked_count(), 3000u);
+  EXPECT_EQ(tracker.Distribution().size(), 3000u);
+}
+
 TEST(TrackerTest, ResetClears) {
   const CubeShape shape = Shape44();
   AccessTracker tracker;

@@ -23,6 +23,13 @@
 //   vecube_cli info     --store STORE
 //       Shape, element inventory, and storage statistics.
 //
+//   vecube_cli serve    --store STORE --workload MASK:FREQ[,MASK:FREQ...]
+//                       --queries N [--cache-mb MB] [--seed S]
+//       Replay N view queries sampled from the workload distribution
+//       through the serving cache (src/serve) and dump the full
+//       ServeMetrics block: hits, misses, evictions, resident bytes, and
+//       assembly operations saved versus uncached serving.
+//
 //   vecube_cli fsck     --store STORE [--wal WAL] [--repair] [--out STORE2]
 //       Verify snapshot integrity element by element (v2 checksums) and,
 //       with --wal, the write-ahead log's committed prefix. --repair
@@ -48,6 +55,8 @@
 #include "range/range_engine.h"
 #include "select/algorithm1.h"
 #include "select/algorithm2.h"
+#include "serve/view_cache.h"
+#include "util/rng.h"
 #include "workload/population.h"
 
 namespace {
@@ -61,7 +70,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: vecube_cli build|optimize|query|range|info|fsck ...\n"
+               "usage: vecube_cli build|optimize|query|range|info|serve|fsck"
+               " ...\n"
                "see the header of tools/vecube_cli.cc for details\n");
   return 2;
 }
@@ -275,6 +285,75 @@ int CmdInfo(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("store") || !flags.count("workload") ||
+      !flags.count("queries")) {
+    return Usage();
+  }
+  auto store = vecube::LoadStore(flags.at("store"));
+  if (!store.ok()) return Fail(store.status());
+  auto population = ParseWorkload(flags.at("workload"), store->shape());
+  if (!population.ok()) return Fail(population.status());
+  const uint64_t queries =
+      std::strtoull(flags.at("queries").c_str(), nullptr, 10);
+  if (queries == 0) return Fail(Status::InvalidArgument("--queries must be > 0"));
+  const uint64_t cache_mb =
+      flags.count("cache-mb")
+          ? std::strtoull(flags.at("cache-mb").c_str(), nullptr, 10)
+          : 64;
+  const uint64_t seed =
+      flags.count("seed") ? std::strtoull(flags.at("seed").c_str(), nullptr, 10)
+                          : 42;
+
+  vecube::ViewCacheOptions cache_options;
+  cache_options.enabled = true;
+  cache_options.capacity_bytes = cache_mb << 20;
+  vecube::ViewCache cache(cache_options);
+  vecube::AssemblyEngine engine(&*store);
+  vecube::Rng rng(seed);
+
+  uint64_t baseline_ops = 0;
+  double checksum = 0.0;
+  for (uint64_t q = 0; q < queries; ++q) {
+    const vecube::ElementId& view = population->Sample(&rng);
+    baseline_ops += engine.PlanCost(view);
+    auto hit = cache.Lookup(view);
+    if (hit == nullptr) {
+      auto data = engine.Assemble(view);
+      if (!data.ok()) return Fail(data.status());
+      hit = cache.Insert(view, std::move(data).value(), engine.PlanCost(view));
+    }
+    checksum += (*hit)[0];
+  }
+
+  const vecube::ServeMetrics metrics = cache.Metrics();
+  std::printf("served %llu queries (checksum %g)\n",
+              static_cast<unsigned long long>(queries), checksum);
+  std::printf("  hits               %llu\n",
+              static_cast<unsigned long long>(metrics.hits));
+  std::printf("  misses             %llu\n",
+              static_cast<unsigned long long>(metrics.misses));
+  std::printf("  hit_rate           %.4f\n", metrics.HitRate());
+  std::printf("  insertions         %llu\n",
+              static_cast<unsigned long long>(metrics.insertions));
+  std::printf("  rejected_inserts   %llu\n",
+              static_cast<unsigned long long>(metrics.rejected_inserts));
+  std::printf("  evictions          %llu\n",
+              static_cast<unsigned long long>(metrics.evictions));
+  std::printf("  invalidations      %llu\n",
+              static_cast<unsigned long long>(metrics.invalidations));
+  std::printf("  entries            %llu\n",
+              static_cast<unsigned long long>(metrics.entries));
+  std::printf("  bytes_resident     %llu\n",
+              static_cast<unsigned long long>(metrics.bytes_resident));
+  std::printf("  assembly_ops_saved %llu (baseline %llu, executed %llu)\n",
+              static_cast<unsigned long long>(metrics.assembly_ops_saved),
+              static_cast<unsigned long long>(baseline_ops),
+              static_cast<unsigned long long>(baseline_ops -
+                                              metrics.assembly_ops_saved));
+  return 0;
+}
+
 int CmdFsck(const std::map<std::string, std::string>& flags) {
   if (!flags.count("store")) return Usage();
   const std::string& path = flags.at("store");
@@ -361,6 +440,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "range") return CmdRange(flags);
   if (command == "info") return CmdInfo(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "fsck") return CmdFsck(flags);
   return Usage();
 }

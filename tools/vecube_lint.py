@@ -17,11 +17,13 @@ Rules (each can be suppressed on a single line with a trailing
                     (unique_ptr/shared_ptr construction on the same
                     statement); ``delete`` expressions are banned outright
                     (``= delete`` declarations are fine).
-  no-nondeterminism src/core/ and src/haar/ must stay bit-reproducible:
-                    std::rand, srand, random_device, time(), clock(),
-                    gettimeofday, system_clock, high_resolution_clock and
-                    getenv are banned there (util/rng.h is the only
-                    sanctioned randomness).
+  no-nondeterminism src/core/, src/haar/, and src/serve/ must stay
+                    bit-reproducible (the serving cache's first-writer-wins
+                    contract leans on deterministic assembly): std::rand,
+                    srand, random_device, time(), clock(), gettimeofday,
+                    system_clock, high_resolution_clock and getenv are
+                    banned there (util/rng.h is the only sanctioned
+                    randomness).
   nodiscard-status  Status and Result<T> must carry a class-level
                     [[nodiscard]] in src/util/status.h / src/util/result.h
                     — that is what makes EVERY function returning them
@@ -143,7 +145,7 @@ def check_lines(path: Path, root: Path, text: str, findings: list):
     in_util = top == "src" and len(rel.parts) > 1 and rel.parts[1] == "util"
     stdio_banned = (top == "src" and not in_util) or top == "tests"
     nondet_banned = (top == "src" and len(rel.parts) > 1
-                     and rel.parts[1] in ("core", "haar"))
+                     and rel.parts[1] in ("core", "haar", "serve"))
 
     prev_code = ""
     for lineno, raw, code in iter_code_lines(text):
