@@ -401,12 +401,14 @@ Result<RepairReport> OlapSession::Repair() {
 }
 
 void OlapSession::RebuildEngines() {
-  engine_ = std::make_unique<AssemblyEngine>(&store_, pool_.get());
+  engine_ =
+      std::make_unique<AssemblyEngine>(&store_, pool_.get(), &scratch_);
   range_engine_ = std::make_unique<RangeEngine>(
-      &store_, MissingElementPolicy::kAssemble, pool_.get(), cache_.get());
+      &store_, MissingElementPolicy::kAssemble, pool_.get(), cache_.get(),
+      &scratch_);
   if (count_store_.has_value()) {
-    count_engine_ =
-        std::make_unique<AssemblyEngine>(&*count_store_, pool_.get());
+    count_engine_ = std::make_unique<AssemblyEngine>(&*count_store_,
+                                                     pool_.get(), &scratch_);
   }
 }
 

@@ -30,6 +30,7 @@
 #include "cube/relation.h"
 #include "cube/shape.h"
 #include "cube/tensor.h"
+#include "haar/scratch.h"
 #include "range/range_engine.h"
 #include "serve/view_cache.h"
 #include "util/result.h"
@@ -217,6 +218,9 @@ class OlapSession {
   Tensor cube_;
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // null when running serial
+  /// Kernel scratch shared by all of this session's engines (and their
+  /// rebuilds); declared before the engines so it outlives them.
+  ScratchArena scratch_;
   ElementStore store_;
   std::optional<Tensor> count_cube_;
   std::optional<ElementStore> count_store_;

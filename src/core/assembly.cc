@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 
+#include "haar/fused.h"
 #include "util/logging.h"
 
 namespace vecube {
@@ -19,6 +20,27 @@ constexpr uint64_t kDenseMemoLimit = uint64_t{1} << 24;
 Status TooManyDims() {
   return Status::InvalidArgument(
       "at most 16 dimensions supported for assembly planning");
+}
+
+// The P1/R1 steps that cascade a stored ancestor down to `target`: per
+// dimension, the remaining bits of the target's offset below the
+// ancestor's level, most significant first. Executed as one fused
+// cascade, the whole descent runs through scratch tiles instead of
+// materializing a tensor per level; results and op totals are identical
+// to the per-step loop this replaces.
+std::vector<CascadeStep> DescentSteps(const ElementId& source,
+                                      const ElementId& target) {
+  std::vector<CascadeStep> steps;
+  for (uint32_t m = 0; m < target.ndim(); ++m) {
+    const DimCode& from = source.dim(m);
+    const DimCode& to = target.dim(m);
+    for (uint32_t bit = to.level - from.level; bit-- > 0;) {
+      const bool residual = ((to.offset >> bit) & 1u) != 0;
+      steps.push_back(CascadeStep{
+          m, residual ? StepKind::kResidual : StepKind::kPartial});
+    }
+  }
+  return steps;
 }
 }  // namespace
 
@@ -36,8 +58,13 @@ struct AssemblyEngine::BatchCache {
   std::unordered_map<uint64_t, std::shared_ptr<Entry>> map;
 };
 
-AssemblyEngine::AssemblyEngine(const ElementStore* store, ThreadPool* pool)
-    : store_(store), pool_(pool), shape_(store->shape()), indexer_(shape_) {
+AssemblyEngine::AssemblyEngine(const ElementStore* store, ThreadPool* pool,
+                               ScratchArena* arena)
+    : store_(store),
+      pool_(pool),
+      arena_(arena),
+      shape_(store->shape()),
+      indexer_(shape_) {
   VECUBE_CHECK(store != nullptr);
   dense_memos_ = indexer_.size() <= kDenseMemoLimit;
   Invalidate();
@@ -197,25 +224,8 @@ Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
       const Tensor* data;
       VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
       if (source == target) return *data;
-      // Cascade from the ancestor to the target: per dimension, follow the
-      // remaining bits of the target's offset below the ancestor's level.
-      Tensor current = *data;
-      for (uint32_t m = 0; m < target.ndim(); ++m) {
-        const DimCode& from = source.dim(m);
-        const DimCode& to = target.dim(m);
-        for (uint32_t bit = to.level - from.level; bit-- > 0;) {
-          const bool residual = ((to.offset >> bit) & 1u) != 0;
-          Tensor next;
-          if (residual) {
-            VECUBE_ASSIGN_OR_RETURN(next,
-                                    PartialResidual(current, m, ops, pool_));
-          } else {
-            VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, m, ops, pool_));
-          }
-          current = std::move(next);
-        }
-      }
-      return current;
+      return CascadeAnalysis(*data, DescentSteps(source, target), ops, pool_,
+                             arena_);
     }
     case Choice::kSynthesize: {
       ElementId p_id, r_id;
@@ -278,24 +288,8 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
         const Tensor* data;
         VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
         if (source == target) return *data;
-        Tensor current = *data;
-        for (uint32_t m = 0; m < target.ndim(); ++m) {
-          const DimCode& from = source.dim(m);
-          const DimCode& to = target.dim(m);
-          for (uint32_t bit = to.level - from.level; bit-- > 0;) {
-            const bool residual = ((to.offset >> bit) & 1u) != 0;
-            Tensor next;
-            if (residual) {
-              VECUBE_ASSIGN_OR_RETURN(
-                  next, PartialResidual(current, m, &local, pool_));
-            } else {
-              VECUBE_ASSIGN_OR_RETURN(next,
-                                      PartialSum(current, m, &local, pool_));
-            }
-            current = std::move(next);
-          }
-        }
-        return current;
+        return CascadeAnalysis(*data, DescentSteps(source, target), &local,
+                               pool_, arena_);
       }
       case Choice::kSynthesize: {
         ElementId p_id, r_id;

@@ -45,6 +45,7 @@
 #include "core/store.h"
 #include "cube/shape.h"
 #include "cube/tensor.h"
+#include "haar/scratch.h"
 #include "haar/transform.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -63,11 +64,13 @@ inline constexpr uint32_t kMaxAssemblyDims = 16;
 /// after mutating the store.
 class AssemblyEngine {
  public:
-  /// Borrows the store (and the pool, when given); the caller keeps both
-  /// alive. A null or single-threaded pool reproduces the serial engine
-  /// exactly.
+  /// Borrows the store (and the pool and arena, when given); the caller
+  /// keeps all three alive. A null or single-threaded pool reproduces the
+  /// serial engine exactly; `arena` only recycles kernel scratch and never
+  /// changes results.
   explicit AssemblyEngine(const ElementStore* store,
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          ScratchArena* arena = nullptr);
 
   /// Procedure-3 cost T_n of producing `target` from the store, in
   /// add/subtract operations. kInfiniteCost if unreachable (store not
@@ -171,6 +174,7 @@ class AssemblyEngine {
 
   const ElementStore* store_;
   ThreadPool* pool_;
+  ScratchArena* arena_;
   CubeShape shape_;
   ElementIndexer indexer_;
   bool dense_memos_ = false;

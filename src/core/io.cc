@@ -147,14 +147,16 @@ Result<ElementStore> LoadStoreV1Body(std::FILE* f, const std::string& path,
       return Status::InvalidArgument(path + ": cell data for " +
                                      id.ToString() + " exceeds file size");
     }
-    std::vector<double> cells(cell_count);
+    // TensorBuffer elements are not zero-filled on construction and the
+    // buffer is adopted without a copy; ReadBytes overwrites every cell.
+    TensorBuffer cells(cell_count);
     if (!ReadBytes(f, cells.data(), cell_count * sizeof(double))) {
       return Status::InvalidArgument(path + ": truncated cell data");
     }
     consumed += cell_count * 8;
     Tensor data;
     VECUBE_ASSIGN_OR_RETURN(
-        data, Tensor::FromData(id.DataExtents(shape), std::move(cells)));
+        data, Tensor::FromBuffer(id.DataExtents(shape), std::move(cells)));
     VECUBE_RETURN_NOT_OK(store.Put(id, std::move(data)));
   }
   // Trailing garbage indicates corruption.
@@ -332,7 +334,7 @@ Result<ElementStore> LoadStoreV2Body(std::FILE* f, const std::string& path,
       truncated = true;
       detail = "payload truncated";
     } else {
-      std::vector<double> cells(entry.cell_count);
+      TensorBuffer cells(entry.cell_count);
       if (!ReadBytes(f, cells.data(), payload_bytes)) {
         truncated = true;
         detail = "payload truncated";
@@ -343,7 +345,8 @@ Result<ElementStore> LoadStoreV2Body(std::FILE* f, const std::string& path,
         Tensor data;
         VECUBE_ASSIGN_OR_RETURN(
             data,
-            Tensor::FromData(entry.id.DataExtents(shape), std::move(cells)));
+            Tensor::FromBuffer(entry.id.DataExtents(shape),
+                               std::move(cells)));
         VECUBE_RETURN_NOT_OK(store.Put(entry.id, std::move(data)));
       }
     }

@@ -39,8 +39,36 @@ Result<Tensor> Tensor::Zeros(std::vector<uint32_t> extents) {
   return t;
 }
 
+Result<Tensor> Tensor::Uninitialized(std::vector<uint32_t> extents) {
+  uint64_t n;
+  VECUBE_ASSIGN_OR_RETURN(n, CheckedProduct(extents));
+  Tensor t;
+  t.extents_ = std::move(extents);
+  // TensorAllocator's default construction is a no-op, so this allocates
+  // without touching the payload.
+  t.data_.resize(n);
+  t.ComputeStrides();
+  return t;
+}
+
 Result<Tensor> Tensor::FromData(std::vector<uint32_t> extents,
                                 std::vector<double> data) {
+  uint64_t n;
+  VECUBE_ASSIGN_OR_RETURN(n, CheckedProduct(extents));
+  if (n != data.size()) {
+    return Status::InvalidArgument(
+        "data size " + std::to_string(data.size()) +
+        " does not match extents product " + std::to_string(n));
+  }
+  Tensor t;
+  t.extents_ = std::move(extents);
+  t.data_.assign(data.begin(), data.end());
+  t.ComputeStrides();
+  return t;
+}
+
+Result<Tensor> Tensor::FromBuffer(std::vector<uint32_t> extents,
+                                  TensorBuffer data) {
   uint64_t n;
   VECUBE_ASSIGN_OR_RETURN(n, CheckedProduct(extents));
   if (n != data.size()) {

@@ -2,26 +2,38 @@
 
 #include <string>
 
+#include "haar/fused.h"
+
 namespace vecube {
+
+namespace {
+
+// Appends the steps TotalAggregate would execute along `dim`, simulating
+// the evolving extent. A non-power-of-two extent appends the step whose
+// validation fails, so CascadeAnalysis reports the same odd-extent
+// precondition the step-at-a-time loop would hit.
+void AppendTotalAggregateSteps(uint32_t dim, uint32_t extent,
+                               std::vector<CascadeStep>* steps) {
+  uint32_t e = extent;
+  while (e > 1) {
+    steps->push_back(CascadeStep{dim, StepKind::kPartial});
+    if ((e & 1) != 0) break;
+    e /= 2;
+  }
+}
+
+}  // namespace
 
 Result<Tensor> ApplyCascade(const Tensor& input,
                             const std::vector<CascadeStep>& steps,
-                            OpCounter* ops) {
-  Tensor current = input;
-  for (const CascadeStep& step : steps) {
-    Tensor next;
-    if (step.kind == StepKind::kPartial) {
-      VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, step.dim, ops));
-    } else {
-      VECUBE_ASSIGN_OR_RETURN(next, PartialResidual(current, step.dim, ops));
-    }
-    current = std::move(next);
-  }
-  return current;
+                            OpCounter* ops, ThreadPool* pool,
+                            ScratchArena* arena) {
+  return CascadeAnalysis(input, steps, ops, pool, arena);
 }
 
 Result<Tensor> PartialSumK(const Tensor& input, uint32_t dim, uint32_t k,
-                           OpCounter* ops) {
+                           OpCounter* ops, ThreadPool* pool,
+                           ScratchArena* arena) {
   if (dim >= input.ndim()) {
     return Status::InvalidArgument("dimension out of range");
   }
@@ -31,34 +43,26 @@ Result<Tensor> PartialSumK(const Tensor& input, uint32_t dim, uint32_t k,
         "extent " + std::to_string(input.extent(dim)) +
         " does not admit a depth-" + std::to_string(k) + " cascade");
   }
-  Tensor current = input;
-  for (uint32_t i = 0; i < k; ++i) {
-    Tensor next;
-    VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, dim, ops));
-    current = std::move(next);
-  }
-  return current;
+  return CascadeSum(input, dim, k, ops, pool, arena);
 }
 
 Result<Tensor> TotalAggregate(const Tensor& input, uint32_t dim,
-                              OpCounter* ops) {
+                              OpCounter* ops, ThreadPool* pool,
+                              ScratchArena* arena) {
   if (dim >= input.ndim()) {
     return Status::InvalidArgument("dimension out of range");
   }
-  Tensor current = input;
-  while (current.extent(dim) > 1) {
-    Tensor next;
-    VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, dim, ops));
-    current = std::move(next);
-  }
-  return current;
+  std::vector<CascadeStep> steps;
+  AppendTotalAggregateSteps(dim, input.extent(dim), &steps);
+  return CascadeAnalysis(input, steps, ops, pool, arena);
 }
 
 Result<Tensor> AggregateDims(const Tensor& input,
                              const std::vector<uint32_t>& dims,
-                             OpCounter* ops) {
+                             OpCounter* ops, ThreadPool* pool,
+                             ScratchArena* arena) {
   std::vector<bool> seen(input.ndim(), false);
-  Tensor current = input;
+  std::vector<CascadeStep> steps;
   for (uint32_t dim : dims) {
     if (dim >= input.ndim()) {
       return Status::InvalidArgument("dimension out of range");
@@ -68,18 +72,19 @@ Result<Tensor> AggregateDims(const Tensor& input,
                                      std::to_string(dim));
     }
     seen[dim] = true;
-    Tensor next;
-    VECUBE_ASSIGN_OR_RETURN(next, TotalAggregate(current, dim, ops));
-    current = std::move(next);
+    AppendTotalAggregateSteps(dim, input.extent(dim), &steps);
   }
-  return current;
+  // One fused cascade over all dimensions, so runs of totally-aggregated
+  // dimensions collapse into shared slab passes (Eq. 14 commutation).
+  return CascadeAnalysis(input, steps, ops, pool, arena);
 }
 
-Result<double> GrandTotal(const Tensor& input, OpCounter* ops) {
+Result<double> GrandTotal(const Tensor& input, OpCounter* ops,
+                          ThreadPool* pool, ScratchArena* arena) {
   std::vector<uint32_t> all(input.ndim());
   for (uint32_t m = 0; m < input.ndim(); ++m) all[m] = m;
   Tensor total;
-  VECUBE_ASSIGN_OR_RETURN(total, AggregateDims(input, all, ops));
+  VECUBE_ASSIGN_OR_RETURN(total, AggregateDims(input, all, ops, pool, arena));
   return total[0];
 }
 

@@ -5,6 +5,12 @@
 // (Property 4) lets cascades along different dimensions commute (Eq. 14).
 // Total aggregation S^m is the log2(n_m)-fold cascade of P1^m (Eq. 15),
 // and the grand total S(A) cascades over every dimension (Eq. 16).
+//
+// All entry points execute through the fused kernel layer (haar/fused.h):
+// runs of consecutive steps are collapsed into single slab passes through
+// scratch tiles instead of materializing one tensor per level. Results and
+// OpCounter totals are bit-identical to the step-at-a-time path; `pool`
+// and `arena` are optional accelerators and never change outputs.
 
 #ifndef VECUBE_HAAR_CASCADE_H_
 #define VECUBE_HAAR_CASCADE_H_
@@ -13,8 +19,10 @@
 #include <vector>
 
 #include "cube/tensor.h"
+#include "haar/scratch.h"
 #include "haar/transform.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace vecube {
 
@@ -36,28 +44,38 @@ struct CascadeStep {
 /// (separability); the per-dimension order itself is significant.
 Result<Tensor> ApplyCascade(const Tensor& input,
                             const std::vector<CascadeStep>& steps,
-                            OpCounter* ops = nullptr);
+                            OpCounter* ops = nullptr,
+                            ThreadPool* pool = nullptr,
+                            ScratchArena* arena = nullptr);
 
 /// k-th partial aggregation Pk^dim (Eq. 5 via the recursion of Eq. 7).
 /// Requires extent(dim) divisible by 2^k.
 Result<Tensor> PartialSumK(const Tensor& input, uint32_t dim, uint32_t k,
-                           OpCounter* ops = nullptr);
+                           OpCounter* ops = nullptr,
+                           ThreadPool* pool = nullptr,
+                           ScratchArena* arena = nullptr);
 
 /// Total aggregation S^dim (Eq. 15): cascades P1^dim until the extent
 /// along `dim` is 1. The dimension is kept with extent 1 (not dropped), so
 /// coordinates of other dimensions are stable.
 Result<Tensor> TotalAggregate(const Tensor& input, uint32_t dim,
-                              OpCounter* ops = nullptr);
+                              OpCounter* ops = nullptr,
+                              ThreadPool* pool = nullptr,
+                              ScratchArena* arena = nullptr);
 
 /// Totally aggregates along every dimension in `dims` (Eq. 16). Duplicate
 /// dimensions are an error.
 Result<Tensor> AggregateDims(const Tensor& input,
                              const std::vector<uint32_t>& dims,
-                             OpCounter* ops = nullptr);
+                             OpCounter* ops = nullptr,
+                             ThreadPool* pool = nullptr,
+                             ScratchArena* arena = nullptr);
 
 /// The grand total S(A): totally aggregates every dimension and returns
 /// the single remaining cell.
-Result<double> GrandTotal(const Tensor& input, OpCounter* ops = nullptr);
+Result<double> GrandTotal(const Tensor& input, OpCounter* ops = nullptr,
+                          ThreadPool* pool = nullptr,
+                          ScratchArena* arena = nullptr);
 
 }  // namespace vecube
 

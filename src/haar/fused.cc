@@ -1,0 +1,311 @@
+#include "haar/fused.h"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+
+#include "haar/simd.h"
+#include "util/logging.h"
+
+namespace vecube {
+
+namespace internal {
+namespace {
+std::atomic<uint64_t> g_fused_budget_cells{kDefaultFusedBudgetCells};
+}  // namespace
+
+uint64_t FusedBudgetCells() {
+  return g_fused_budget_cells.load(std::memory_order_relaxed);
+}
+
+void SetFusedBudgetForTesting(uint64_t cells) {
+  g_fused_budget_cells.store(cells == 0 ? kDefaultFusedBudgetCells : cells,
+                             std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+namespace {
+
+// One P1/R1 pass inside a fused group, described over the group's
+// dimension window [lo..hi] (the "mid" shape): the step dimension has
+// extent `n`, `group_outer` mid cells precede it and `deeper` follow it,
+// so the pass pairs rows of `deeper` mid cells.
+struct Pass {
+  uint64_t group_outer = 1;
+  uint64_t n = 2;
+  uint64_t deeper = 1;
+  StepKind kind = StepKind::kPartial;
+};
+
+// A maximal run of consecutive steps executed as one slab pass (count >= 2)
+// or routed to the plain kernels (count == 1).
+struct Group {
+  size_t first = 0;
+  size_t count = 0;
+  uint32_t lo = 0;  // dimension window, inclusive
+  uint32_t hi = 0;
+  uint64_t entry_volume = 1;          // product of entry extents over [lo..hi]
+  std::vector<uint32_t> exit_extents;  // full extents after the group
+  std::vector<Pass> passes;            // filled iff count >= 2
+};
+
+// Greedy left-to-right grouping: extend the current group while the merged
+// dimension window's entry volume keeps the first intermediate (volume/2
+// mid cells per inner column) within the scratch budget. Depends only on
+// the input shape, the step list, and the budget — never on data or thread
+// count — so planning is deterministic.
+std::vector<Group> PlanGroups(std::vector<uint32_t> extents,
+                              const std::vector<CascadeStep>& steps,
+                              uint64_t budget) {
+  std::vector<Group> groups;
+  size_t i = 0;
+  while (i < steps.size()) {
+    Group g;
+    g.first = i;
+    g.count = 1;
+    g.lo = g.hi = steps[i].dim;
+    const std::vector<uint32_t> entry = extents;
+    extents[steps[i].dim] /= 2;
+    size_t j = i + 1;
+    while (j < steps.size()) {
+      const uint32_t q = steps[j].dim;
+      const uint32_t lo = std::min(g.lo, q);
+      const uint32_t hi = std::max(g.hi, q);
+      uint64_t volume = 1;
+      for (uint32_t m = lo; m <= hi; ++m) volume *= entry[m];
+      if (volume / 2 > budget) break;
+      g.lo = lo;
+      g.hi = hi;
+      extents[q] /= 2;
+      ++g.count;
+      ++j;
+    }
+    if (g.count >= 2) {
+      for (uint32_t m = g.lo; m <= g.hi; ++m) g.entry_volume *= entry[m];
+      std::vector<uint32_t> mid(entry.begin() + g.lo,
+                                entry.begin() + g.hi + 1);
+      for (size_t s = g.first; s < g.first + g.count; ++s) {
+        const uint32_t q = steps[s].dim - g.lo;
+        Pass p;
+        p.kind = steps[s].kind;
+        p.n = mid[q];
+        for (uint32_t m = 0; m < q; ++m) p.group_outer *= mid[m];
+        for (size_t m = q + 1; m < mid.size(); ++m) p.deeper *= mid[m];
+        g.passes.push_back(p);
+        mid[q] /= 2;
+      }
+    }
+    g.exit_extents = extents;
+    groups.push_back(std::move(g));
+    i = j;
+  }
+  return groups;
+}
+
+// Runs one pass over one slab tile. Both layouts address mid cell `c`,
+// window offset `j` at base + c * unit + j: packed scratch has unit == w,
+// the input/output tensors have unit == inner (bases pre-offset to the
+// slab and window).
+void RunPass(const Pass& p, const double* src, uint64_t src_unit, double* dst,
+             uint64_t dst_unit, uint64_t w, const HaarVecOps& vec) {
+  const uint64_t half = p.n / 2;
+  const uint64_t deeper = p.deeper;
+  const bool partial = p.kind == StepKind::kPartial;
+  if (src_unit == w && dst_unit == w) {
+    // Both sides packed (or the tile spans the full inner block): rows of
+    // `deeper * w` contiguous cells.
+    const uint64_t row = deeper * w;
+    if (row == 1) {
+      // Pairs are adjacent across the entire pass: one deinterleaving
+      // sweep over group_outer * half output cells.
+      if (partial) {
+        vec.pair_sum(src, dst, p.group_outer * half);
+      } else {
+        vec.pair_diff(src, dst, p.group_outer * half);
+      }
+      return;
+    }
+    for (uint64_t g = 0; g < p.group_outer; ++g) {
+      const double* sg = src + g * p.n * row;
+      double* dg = dst + g * half * row;
+      for (uint64_t i = 0; i < half; ++i) {
+        const double* even = sg + (2 * i) * row;
+        if (partial) {
+          vec.add_rows(even, even + row, dg + i * row, row);
+        } else {
+          vec.sub_rows(even, even + row, dg + i * row, row);
+        }
+      }
+    }
+    return;
+  }
+  // Windowed tensor edge (first or last pass of a tiled slab): w-cell rows
+  // at `unit` strides per mid cell.
+  for (uint64_t g = 0; g < p.group_outer; ++g) {
+    for (uint64_t i = 0; i < half; ++i) {
+      const uint64_t src_base = (g * p.n + 2 * i) * deeper;
+      const uint64_t dst_base = (g * half + i) * deeper;
+      for (uint64_t t = 0; t < deeper; ++t) {
+        const double* even = src + (src_base + t) * src_unit;
+        const double* odd = src + (src_base + deeper + t) * src_unit;
+        double* out = dst + (dst_base + t) * dst_unit;
+        if (partial) {
+          vec.add_rows(even, odd, out, w);
+        } else {
+          vec.sub_rows(even, odd, out, w);
+        }
+      }
+    }
+  }
+}
+
+Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
+                                 ThreadPool* pool, ScratchArena* arena,
+                                 uint64_t budget) {
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(g.exit_extents));
+
+  uint64_t outer = 1;
+  for (uint32_t m = 0; m < g.lo; ++m) outer *= in.extent(m);
+  uint64_t inner = 1;
+  for (uint32_t m = g.hi + 1; m < in.ndim(); ++m) inner *= in.extent(m);
+  const uint64_t entry_volume = g.entry_volume;
+  const uint64_t exit_volume = entry_volume >> g.count;
+  const uint64_t tile_width =
+      std::clamp<uint64_t>(budget / (entry_volume / 2), 1, inner);
+  const uint64_t tiles = (inner + tile_width - 1) / tile_width;
+  const uint64_t chunks = outer * tiles;
+  const uint64_t scratch_cells = (entry_volume / 2) * tile_width;
+
+  const double* in_raw = in.raw();
+  double* out_raw = out.raw();
+  const HaarVecOps& vec = VecOps();
+
+  // Chunks are disjoint (slab, tile) pairs with disjoint output regions;
+  // per-cell association trees depend only on the step sequence, so the
+  // result is bit-identical at any chunking.
+  auto worker = [&](uint64_t begin, uint64_t end) {
+    ScratchArena::Buffer handles[2];
+    TensorBuffer local[2];
+    double* bufs[2];
+    for (int b = 0; b < 2; ++b) {
+      if (arena != nullptr) {
+        handles[b] = arena->Acquire(scratch_cells);
+        bufs[b] = handles[b].data();
+      } else {
+        local[b].resize(scratch_cells);
+        bufs[b] = local[b].data();
+      }
+    }
+    for (uint64_t c = begin; c < end; ++c) {
+      const uint64_t o = c / tiles;
+      const uint64_t j0 = (c % tiles) * tile_width;
+      const uint64_t w = std::min(tile_width, inner - j0);
+      const double* src = in_raw + o * entry_volume * inner + j0;
+      uint64_t src_unit = inner;
+      double* tensor_dst = out_raw + o * exit_volume * inner + j0;
+      int flip = 0;
+      for (size_t k = 0; k < g.passes.size(); ++k) {
+        double* dst;
+        uint64_t dst_unit;
+        if (k + 1 == g.passes.size()) {
+          dst = tensor_dst;
+          dst_unit = inner;
+        } else {
+          dst = bufs[flip];
+          dst_unit = w;
+          flip ^= 1;
+        }
+        RunPass(g.passes[k], src, src_unit, dst, dst_unit, w, vec);
+        src = dst;
+        src_unit = dst_unit;
+      }
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && chunks > 1 &&
+      in.size() >= kParallelKernelCells) {
+    pool->ParallelFor(chunks, 1, worker);
+  } else {
+    worker(0, chunks);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Tensor> CascadeAnalysis(const Tensor& input,
+                               const std::vector<CascadeStep>& steps,
+                               OpCounter* ops, ThreadPool* pool,
+                               ScratchArena* arena) {
+  // Validate the whole list up front against the evolving extents,
+  // reporting exactly the Status the step-at-a-time kernels would.
+  std::vector<uint32_t> extents = input.extents();
+  for (const CascadeStep& step : steps) {
+    if (step.dim >= extents.size()) {
+      return Status::InvalidArgument("dimension " + std::to_string(step.dim) +
+                                     " out of range for tensor of rank " +
+                                     std::to_string(input.ndim()));
+    }
+    const uint32_t n = extents[step.dim];
+    if (n < 2 || (n & 1) != 0) {
+      return Status::FailedPrecondition(
+          "partial aggregation along dimension " + std::to_string(step.dim) +
+          " requires an even extent >= 2, got " + std::to_string(n));
+    }
+    extents[step.dim] /= 2;
+  }
+  if (steps.empty()) return input;
+
+  const uint64_t budget = internal::FusedBudgetCells();
+  const std::vector<Group> groups = PlanGroups(input.extents(), steps, budget);
+
+  const Tensor* current = &input;
+  Tensor owned;
+  for (const Group& g : groups) {
+    Tensor next;
+    if (g.count == 1) {
+      const CascadeStep& step = steps[g.first];
+      if (step.kind == StepKind::kPartial) {
+        VECUBE_ASSIGN_OR_RETURN(next,
+                                PartialSum(*current, step.dim, nullptr, pool));
+      } else {
+        VECUBE_ASSIGN_OR_RETURN(
+            next, PartialResidual(*current, step.dim, nullptr, pool));
+      }
+    } else {
+      VECUBE_ASSIGN_OR_RETURN(
+          next, ExecuteFusedGroup(*current, g, pool, arena, budget));
+    }
+    owned = std::move(next);
+    current = &owned;
+  }
+
+  // Book the cascade analytically on the calling thread: each step costs
+  // its output volume, exactly what the per-step kernels would book, so
+  // totals are independent of grouping, tiling, and thread count.
+  if (ops != nullptr) {
+    uint64_t volume = input.size();
+    for (size_t s = 0; s < steps.size(); ++s) {
+      volume /= 2;
+      ops->adds += volume;
+    }
+  }
+  return owned;
+}
+
+Result<Tensor> CascadeSum(const Tensor& input, uint32_t dim, uint32_t levels,
+                          OpCounter* ops, ThreadPool* pool,
+                          ScratchArena* arena) {
+  if (dim >= input.ndim()) {
+    return Status::InvalidArgument("dimension " + std::to_string(dim) +
+                                   " out of range for tensor of rank " +
+                                   std::to_string(input.ndim()));
+  }
+  std::vector<CascadeStep> steps(levels,
+                                 CascadeStep{dim, StepKind::kPartial});
+  return CascadeAnalysis(input, steps, ops, pool, arena);
+}
+
+}  // namespace vecube

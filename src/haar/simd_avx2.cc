@@ -1,0 +1,190 @@
+// AVX2 implementations of the HaarVecOps table. This is the ONLY
+// translation unit in the tree allowed to contain CPU intrinsics (lint
+// rule simd-dispatch); it is compiled with -mavx2 where the compiler
+// supports the flag and collapses to a null provider everywhere else.
+// Nothing here is reachable unless the runtime CPU check in
+// Avx2VecOpsOrNull() passes, so building with -mavx2 cannot crash
+// non-AVX2 hosts.
+//
+// Bit-exactness contract: every output cell is computed by exactly the
+// same single add / subtract / 0.5*(x±y) expression as the scalar table —
+// SIMD only reschedules independent cells — so results, operation counts,
+// and determinism are unchanged by dispatch.
+
+#include "haar/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace vecube {
+namespace {
+
+void AddRowsAvx2(const double* a, const double* b, double* dst,
+                 uint64_t n) {
+  uint64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(dst + j, _mm256_add_pd(_mm256_loadu_pd(a + j),
+                                            _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) dst[j] = a[j] + b[j];
+}
+
+void SubRowsAvx2(const double* a, const double* b, double* dst,
+                 uint64_t n) {
+  uint64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    _mm256_storeu_pd(dst + j, _mm256_sub_pd(_mm256_loadu_pd(a + j),
+                                            _mm256_loadu_pd(b + j)));
+  }
+  for (; j < n; ++j) dst[j] = a[j] - b[j];
+}
+
+void AddSubRowsAvx2(const double* a, const double* b, double* sum,
+                    double* diff, uint64_t n) {
+  uint64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d x = _mm256_loadu_pd(a + j);
+    const __m256d y = _mm256_loadu_pd(b + j);
+    _mm256_storeu_pd(sum + j, _mm256_add_pd(x, y));
+    _mm256_storeu_pd(diff + j, _mm256_sub_pd(x, y));
+  }
+  for (; j < n; ++j) {
+    const double x = a[j];
+    const double y = b[j];
+    sum[j] = x + y;
+    diff[j] = x - y;
+  }
+}
+
+void SynthRowsAvx2(const double* p, const double* r, double* even,
+                   double* odd, uint64_t n) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  uint64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d x = _mm256_loadu_pd(p + j);
+    const __m256d y = _mm256_loadu_pd(r + j);
+    _mm256_storeu_pd(even + j, _mm256_mul_pd(half, _mm256_add_pd(x, y)));
+    _mm256_storeu_pd(odd + j, _mm256_mul_pd(half, _mm256_sub_pd(x, y)));
+  }
+  for (; j < n; ++j) {
+    const double x = p[j];
+    const double y = r[j];
+    even[j] = 0.5 * (x + y);
+    odd[j] = 0.5 * (x - y);
+  }
+}
+
+// Deinterleave helper: from v0 = [a0 a1 a2 a3], v1 = [a4 a5 a6 a7]
+// produce even = [a0 a2 a4 a6] and odd = [a1 a3 a5 a7] lane orders
+// [e0 e2 e1 e3]-style intermediates; the 0xD8 permute restores index
+// order after the per-128-bit-lane unpack.
+inline __m256d RestoreOrder(__m256d v) {
+  return _mm256_permute4x64_pd(v, 0xD8);  // lanes 0,2,1,3 -> 0,1,2,3
+}
+
+void PairSumAvx2(const double* in, double* sum, uint64_t n) {
+  uint64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 = _mm256_loadu_pd(in + 2 * i);
+    const __m256d v1 = _mm256_loadu_pd(in + 2 * i + 4);
+    const __m256d even = _mm256_unpacklo_pd(v0, v1);  // a0 a4 a2 a6
+    const __m256d odd = _mm256_unpackhi_pd(v0, v1);   // a1 a5 a3 a7
+    _mm256_storeu_pd(sum + i, RestoreOrder(_mm256_add_pd(even, odd)));
+  }
+  for (; i < n; ++i) sum[i] = in[2 * i] + in[2 * i + 1];
+}
+
+void PairDiffAvx2(const double* in, double* diff, uint64_t n) {
+  uint64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 = _mm256_loadu_pd(in + 2 * i);
+    const __m256d v1 = _mm256_loadu_pd(in + 2 * i + 4);
+    const __m256d even = _mm256_unpacklo_pd(v0, v1);
+    const __m256d odd = _mm256_unpackhi_pd(v0, v1);
+    _mm256_storeu_pd(diff + i, RestoreOrder(_mm256_sub_pd(even, odd)));
+  }
+  for (; i < n; ++i) diff[i] = in[2 * i] - in[2 * i + 1];
+}
+
+void PairBothAvx2(const double* in, double* sum, double* diff,
+                  uint64_t n) {
+  uint64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 = _mm256_loadu_pd(in + 2 * i);
+    const __m256d v1 = _mm256_loadu_pd(in + 2 * i + 4);
+    const __m256d even = _mm256_unpacklo_pd(v0, v1);
+    const __m256d odd = _mm256_unpackhi_pd(v0, v1);
+    _mm256_storeu_pd(sum + i, RestoreOrder(_mm256_add_pd(even, odd)));
+    _mm256_storeu_pd(diff + i, RestoreOrder(_mm256_sub_pd(even, odd)));
+  }
+  for (; i < n; ++i) {
+    const double x = in[2 * i];
+    const double y = in[2 * i + 1];
+    sum[i] = x + y;
+    diff[i] = x - y;
+  }
+}
+
+void PairSynthAvx2(const double* p, const double* r, double* out,
+                   uint64_t n) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  uint64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(p + i);
+    const __m256d y = _mm256_loadu_pd(r + i);
+    const __m256d even = _mm256_mul_pd(half, _mm256_add_pd(x, y));
+    const __m256d odd = _mm256_mul_pd(half, _mm256_sub_pd(x, y));
+    // Interleave [e0 e1 e2 e3] / [o0 o1 o2 o3] into
+    // [e0 o0 e1 o1] and [e2 o2 e3 o3].
+    const __m256d lo = _mm256_unpacklo_pd(even, odd);  // e0 o0 e2 o2
+    const __m256d hi = _mm256_unpackhi_pd(even, odd);  // e1 o1 e3 o3
+    _mm256_storeu_pd(out + 2 * i, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(out + 2 * i + 4,
+                     _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  for (; i < n; ++i) {
+    const double x = p[i];
+    const double y = r[i];
+    out[2 * i] = 0.5 * (x + y);
+    out[2 * i + 1] = 0.5 * (x - y);
+  }
+}
+
+constexpr HaarVecOps kAvx2Ops = {
+    AddRowsAvx2, SubRowsAvx2, AddSubRowsAvx2, SynthRowsAvx2,
+    PairSumAvx2, PairDiffAvx2, PairBothAvx2,  PairSynthAvx2,
+    "avx2",
+};
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+namespace internal {
+
+const HaarVecOps* Avx2VecOpsOrNull() {
+  static const bool has_avx2 = CpuHasAvx2();
+  return has_avx2 ? &kAvx2Ops : nullptr;
+}
+
+}  // namespace internal
+}  // namespace vecube
+
+#else  // !defined(__AVX2__)
+
+namespace vecube {
+namespace internal {
+
+const HaarVecOps* Avx2VecOpsOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace vecube
+
+#endif  // defined(__AVX2__)

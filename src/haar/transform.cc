@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "haar/simd.h"
 #include "util/logging.h"
 
 namespace vecube {
@@ -44,8 +45,9 @@ std::vector<uint32_t> HalvedExtents(const Tensor& input, uint32_t dim) {
 // analysis kernels read input rows 2k and 2k+1 (each `inner` cells) and
 // write output row k; synthesis is the transpose. The o/i loop nests of
 // the serial kernels collapse to this single row loop, which is what the
-// pool chunks over. Each row is >= `inner` cells of work, so the grain is
-// chosen to keep every chunk at or above kParallelKernelCells cells.
+// pool chunks over. Each row is >= `inner` cells of work; the grain is
+// the least row count per chunk carrying kParallelKernelCells cells
+// (internal::KernelRowGrain).
 void RunRows(ThreadPool* pool, uint64_t rows, uint64_t inner,
              uint64_t total_cells,
              const std::function<void(uint64_t, uint64_t)>& body) {
@@ -54,9 +56,7 @@ void RunRows(ThreadPool* pool, uint64_t rows, uint64_t inner,
     body(0, rows);
     return;
   }
-  const uint64_t grain =
-      std::max<uint64_t>(1, kParallelKernelCells / std::max<uint64_t>(inner, 1));
-  pool->ParallelFor(rows, grain, body);
+  pool->ParallelFor(rows, internal::KernelRowGrain(inner), body);
 }
 
 }  // namespace
@@ -66,18 +66,24 @@ Result<Tensor> PartialSum(const Tensor& input, uint32_t dim, OpCounter* ops,
   AxisGeometry g;
   VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
   Tensor out;
-  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(HalvedExtents(input, dim)));
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(HalvedExtents(input, dim)));
 
   const double* src = input.raw();
   double* dst = out.raw();
   const uint64_t inner = g.inner;
   const uint64_t rows = g.outer * (g.n / 2);
+  const HaarVecOps& vec = VecOps();
   RunRows(pool, rows, inner, out.size(), [=](uint64_t begin, uint64_t end) {
+    if (inner == 1) {
+      // Innermost dimension: adjacent even/odd pairs, one deinterleaving
+      // sweep over the chunk.
+      vec.pair_sum(src + 2 * begin, dst + begin, end - begin);
+      return;
+    }
     for (uint64_t k = begin; k < end; ++k) {
       const double* even = src + (2 * k) * inner;
       const double* odd = even + inner;
-      double* row = dst + k * inner;
-      for (uint64_t j = 0; j < inner; ++j) row[j] = even[j] + odd[j];
+      vec.add_rows(even, odd, dst + k * inner, inner);
     }
   });
   if (ops != nullptr) ops->adds += out.size();
@@ -89,18 +95,22 @@ Result<Tensor> PartialResidual(const Tensor& input, uint32_t dim,
   AxisGeometry g;
   VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
   Tensor out;
-  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(HalvedExtents(input, dim)));
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(HalvedExtents(input, dim)));
 
   const double* src = input.raw();
   double* dst = out.raw();
   const uint64_t inner = g.inner;
   const uint64_t rows = g.outer * (g.n / 2);
+  const HaarVecOps& vec = VecOps();
   RunRows(pool, rows, inner, out.size(), [=](uint64_t begin, uint64_t end) {
+    if (inner == 1) {
+      vec.pair_diff(src + 2 * begin, dst + begin, end - begin);
+      return;
+    }
     for (uint64_t k = begin; k < end; ++k) {
       const double* even = src + (2 * k) * inner;
       const double* odd = even + inner;
-      double* row = dst + k * inner;
-      for (uint64_t j = 0; j < inner; ++j) row[j] = even[j] - odd[j];
+      vec.sub_rows(even, odd, dst + k * inner, inner);
     }
   });
   if (ops != nullptr) ops->adds += out.size();
@@ -114,27 +124,29 @@ Status PartialPair(const Tensor& input, uint32_t dim, Tensor* partial,
   }
   AxisGeometry g;
   VECUBE_ASSIGN_OR_RETURN(g, CheckAnalysisArgs(input, dim));
-  VECUBE_ASSIGN_OR_RETURN(*partial, Tensor::Zeros(HalvedExtents(input, dim)));
-  VECUBE_ASSIGN_OR_RETURN(*residual, Tensor::Zeros(HalvedExtents(input, dim)));
+  VECUBE_ASSIGN_OR_RETURN(*partial,
+                          Tensor::Uninitialized(HalvedExtents(input, dim)));
+  VECUBE_ASSIGN_OR_RETURN(*residual,
+                          Tensor::Uninitialized(HalvedExtents(input, dim)));
 
   const double* src = input.raw();
   double* dst_p = partial->raw();
   double* dst_r = residual->raw();
   const uint64_t inner = g.inner;
   const uint64_t rows = g.outer * (g.n / 2);
+  const HaarVecOps& vec = VecOps();
   RunRows(pool, rows, inner, partial->size(),
           [=](uint64_t begin, uint64_t end) {
+            if (inner == 1) {
+              vec.pair_both(src + 2 * begin, dst_p + begin, dst_r + begin,
+                            end - begin);
+              return;
+            }
             for (uint64_t k = begin; k < end; ++k) {
               const double* even = src + (2 * k) * inner;
               const double* odd = even + inner;
-              double* p_row = dst_p + k * inner;
-              double* r_row = dst_r + k * inner;
-              for (uint64_t j = 0; j < inner; ++j) {
-                const double a = even[j];
-                const double b = odd[j];
-                p_row[j] = a + b;
-                r_row[j] = a - b;
-              }
+              vec.addsub_rows(even, odd, dst_p + k * inner,
+                              dst_r + k * inner, inner);
             }
           });
   if (ops != nullptr) ops->adds += partial->size() + residual->size();
@@ -154,7 +166,7 @@ Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
   std::vector<uint32_t> extents = partial.extents();
   extents[dim] *= 2;
   Tensor out;
-  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Zeros(std::move(extents)));
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(std::move(extents)));
 
   const uint64_t inner = partial.stride(dim);
   const uint64_t half = partial.extent(dim);
@@ -163,21 +175,26 @@ Result<Tensor> SynthesizePair(const Tensor& partial, const Tensor& residual,
   const double* src_r = residual.raw();
   double* dst = out.raw();
   const uint64_t rows = outer * half;
+  const HaarVecOps& vec = VecOps();
   RunRows(pool, rows, 2 * inner, out.size(), [=](uint64_t begin, uint64_t end) {
+    if (inner == 1) {
+      vec.pair_synth(src_p + begin, src_r + begin, dst + 2 * begin,
+                     end - begin);
+      return;
+    }
     for (uint64_t k = begin; k < end; ++k) {
-      const double* p_row = src_p + k * inner;
-      const double* r_row = src_r + k * inner;
       double* even = dst + (2 * k) * inner;
-      double* odd = even + inner;
-      for (uint64_t j = 0; j < inner; ++j) {
-        const double p = p_row[j];
-        const double r = r_row[j];
-        even[j] = 0.5 * (p + r);
-        odd[j] = 0.5 * (p - r);
-      }
+      vec.synth_rows(src_p + k * inner, src_r + k * inner, even,
+                     even + inner, inner);
     }
   });
-  if (ops != nullptr) ops->adds += out.size();
+  // Eqs. 3-4: one add/sub plus one halving per output cell. Halvings go
+  // to `muls` so `adds` stays equal to the Procedure-3 plan cost (the
+  // paper's cost model counts additive operations only).
+  if (ops != nullptr) {
+    ops->adds += out.size();
+    ops->muls += out.size();
+  }
   return out;
 }
 

@@ -15,7 +15,13 @@
 // addition/subtraction, and each synthesis output cell costs one — this is
 // the unit in which the paper's processing costs (Eqs. 26-28, Procedure 3)
 // are expressed, and all kernels optionally report it so that measured
-// counts can be checked against the analytic cost model.
+// counts can be checked against the analytic cost model. Synthesis
+// additionally performs one halving (multiplication by 0.5) per output
+// cell (the "/2" of Eqs. 3-4); the paper's cost model is denominated in
+// additive operations only, so halvings are booked in OpCounter::muls and
+// deliberately excluded from `adds` — that keeps measured adds equal to
+// the Procedure-3 plan cost T_n exactly, while still making the halving
+// work visible to benchmarks and tests.
 //
 // Parallelism: every kernel is a gather over independent output rows
 // (outer-block × half-extent pairs), so each optionally fans the row loop
@@ -36,15 +42,31 @@
 
 namespace vecube {
 
-/// Accumulates the add/subtract operation counts of transform kernels.
+/// Accumulates the operation counts of transform kernels. `adds` is the
+/// paper's cost unit (additions/subtractions; equals Procedure-3 plan
+/// costs); `muls` counts the synthesis halvings, which the cost model
+/// treats as free (see the file comment).
 struct OpCounter {
   uint64_t adds = 0;
+  uint64_t muls = 0;
 
-  void Reset() { adds = 0; }
+  void Reset() { *this = OpCounter{}; }
 };
 
 /// Minimum output cells before a kernel fans out over a thread pool.
 inline constexpr uint64_t kParallelKernelCells = uint64_t{1} << 14;
+
+namespace internal {
+/// Rows per ParallelFor grain for rows of `inner` cells: the least row
+/// count whose chunk carries at least kParallelKernelCells cells (ceiling
+/// division — truncation used to undershoot the cell target whenever
+/// `inner` did not divide it, over-chunking huge-row tensors down to
+/// single rows below the threshold).
+constexpr uint64_t KernelRowGrain(uint64_t inner) {
+  const uint64_t row_cells = inner == 0 ? 1 : inner;
+  return (kParallelKernelCells + row_cells - 1) / row_cells;
+}
+}  // namespace internal
 
 /// First partial aggregation P1 along `dim` (Eq. 1). The input extent along
 /// `dim` must be even; the output extent is halved. `ops` may be null;

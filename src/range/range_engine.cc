@@ -8,10 +8,10 @@ namespace vecube {
 
 RangeEngine::RangeEngine(const ElementStore* store,
                          MissingElementPolicy policy, ThreadPool* pool,
-                         ViewCache* cache)
+                         ViewCache* cache, ScratchArena* arena)
     : store_(store),
       policy_(policy),
-      engine_(store, pool),
+      engine_(store, pool, arena),
       cache_(cache),
       assembled_cache_(store->shape()) {
   VECUBE_CHECK(store != nullptr);

@@ -39,17 +39,19 @@ struct RangeQueryStats {
 
 class RangeEngine {
  public:
-  /// Borrows the store (and pool and cache, if given); the caller keeps
-  /// all three alive. The pool parallelizes on-demand assembly of missing
-  /// elements. When `cache` is non-null, missing intermediate elements
-  /// are looked up / retained there (sharing the serving layer's
-  /// benefit-weighted residency and metrics with view queries) instead of
-  /// in the engine's private unbounded store.
+  /// Borrows the store (and pool, cache, and arena, if given); the caller
+  /// keeps them all alive. The pool parallelizes on-demand assembly of
+  /// missing elements; `arena` recycles assembly kernel scratch. When
+  /// `cache` is non-null, missing intermediate elements are looked up /
+  /// retained there (sharing the serving layer's benefit-weighted
+  /// residency and metrics with view queries) instead of in the engine's
+  /// private unbounded store.
   explicit RangeEngine(const ElementStore* store,
                        MissingElementPolicy policy =
                            MissingElementPolicy::kAssemble,
                        ThreadPool* pool = nullptr,
-                       ViewCache* cache = nullptr);
+                       ViewCache* cache = nullptr,
+                       ScratchArena* arena = nullptr);
 
   /// S(G(A)) of Eq. 36 via the dyadic decomposition. `stats` optional.
   Result<double> RangeSum(const RangeSpec& range,

@@ -164,7 +164,7 @@ TEST(ApplyPointDeltaTest, OutOfRangeRejectedAtomically) {
   auto store = computer.Materialize(WaveletBasisSet(shape));
   ASSERT_TRUE(store.ok());
 
-  std::vector<std::vector<double>> before;
+  std::vector<TensorBuffer> before;
   for (const ElementId& id : store->Ids()) {
     before.push_back((*store->Get(id))->data());
   }

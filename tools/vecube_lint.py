@@ -29,6 +29,14 @@ Rules (each can be suppressed on a single line with a trailing
                     — that is what makes EVERY function returning them
                     discard-checked, with no per-declaration attribute to
                     forget.
+  simd-dispatch     SIMD intrinsics (immintrin.h, _mm*/_mm256*/_mm512*
+                    calls, __m128/__m256/__m512 types) may appear only in
+                    src/haar/simd_avx2.cc — the one translation unit
+                    compiled with -mavx2 and reached solely through the
+                    runtime-dispatched table in src/haar/simd.h. Intrinsics
+                    anywhere else would execute unguarded on CPUs without
+                    the feature (or silently skip dispatch and the
+                    VECUBE_DISABLE_AVX2 escape hatch).
 
 Usage:
   tools/vecube_lint.py [--root DIR] [--list-rules] [paths...]
@@ -58,6 +66,13 @@ NONDET_RE = re.compile(
     r"|\bstd::random_device\b"
     r"|\bstd::chrono::(?:system_clock|high_resolution_clock)\b"
 )
+
+SIMD_RE = re.compile(
+    r"\b_mm(?:256|512)?_\w+\s*\("
+    r"|\b__m(?:128|256|512)[di]?\b"
+    r"|\bimmintrin\.h\b"
+)
+SIMD_ALLOWED = ("src/haar/simd_avx2.cc",)
 
 NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new T`, not `operator new(`
 DELETE_EXPR_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w:(*]")
@@ -147,6 +162,8 @@ def check_lines(path: Path, root: Path, text: str, findings: list):
     nondet_banned = (top == "src" and len(rel.parts) > 1
                      and rel.parts[1] in ("core", "haar", "serve"))
 
+    simd_banned = rel.as_posix() not in SIMD_ALLOWED
+
     prev_code = ""
     for lineno, raw, code in iter_code_lines(text):
         if stdio_banned and STDIO_RE.search(code) \
@@ -154,6 +171,12 @@ def check_lines(path: Path, root: Path, text: str, findings: list):
             findings.append(Finding(rel, lineno, "no-stdio",
                                     "stdio output in library/test code; "
                                     "route through util/ or gtest"))
+        if simd_banned and SIMD_RE.search(code) \
+                and not suppressed(raw, "simd-dispatch"):
+            findings.append(Finding(rel, lineno, "simd-dispatch",
+                                    "SIMD intrinsics outside "
+                                    "src/haar/simd_avx2.cc; go through the "
+                                    "runtime-dispatched HaarVecOps table"))
         if nondet_banned and NONDET_RE.search(code) \
                 and not suppressed(raw, "no-nondeterminism"):
             findings.append(Finding(rel, lineno, "no-nondeterminism",
@@ -227,7 +250,7 @@ def main() -> int:
 
     if args.list_rules:
         print("header-guard no-stdio no-naked-new no-nondeterminism "
-              "nodiscard-status")
+              "nodiscard-status simd-dispatch")
         return 0
 
     root = Path(args.root).resolve() if args.root \
