@@ -58,6 +58,13 @@ OlapSession::OlapSession(CubeShape shape, Tensor cube, Options options)
   }
 }
 
+OlapSession::~OlapSession() {
+  // Observed-traffic history buffered on the serving path must not be
+  // lost: anything still reading the tracker (advisors, tooling holding
+  // a reference) sees the complete record.
+  access_log_.Drain();
+}
+
 Status OlapSession::VerifyFullState() {
   if (checker_ == nullptr) return Status::OK();
   VECUBE_RETURN_NOT_OK(checker_->CheckAll(store_, cube_));
@@ -183,6 +190,10 @@ Status OlapSession::Checkpoint() {
     return Status::FailedPrecondition(
         "durability is not enabled for this session");
   }
+  // Fold buffered access records into the tracker at every durability
+  // boundary so the reconfigure/advisor loop never works from a
+  // truncated history.
+  access_log_.Drain();
   // Quarantined elements carry no data to persist; repair before
   // checkpointing to keep them in the materialized set.
   const std::string& dir = options_.durability.directory;
@@ -423,6 +434,9 @@ Status OlapSession::DeclareWorkload(QueryPopulation population) {
 }
 
 Status OlapSession::Optimize() {
+  // The tracker must reflect every query recorded so far, including
+  // records still sitting in the write-behind buffer.
+  access_log_.Drain();
   QueryPopulation population;
   if (declared_workload_.has_value()) {
     population = *declared_workload_;
@@ -538,7 +552,7 @@ Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask) {
   }
   ++stats_.queries;
   stats_.assembly_ops += ops.adds;
-  if (options_.track_accesses) tracker_.Record(view);
+  if (options_.track_accesses) access_log_.Record(view);
   Tensor avg = sums;
   for (uint64_t i = 0; i < avg.size(); ++i) {
     avg[i] = counts[i] > 0.0 ? sums[i] / counts[i] : 0.0;
@@ -554,28 +568,55 @@ Result<Tensor> OlapSession::ViewByMask(uint32_t aggregated_mask) {
 }
 
 Result<Tensor> OlapSession::Element(const ElementId& id) {
-  if (cache_ != nullptr) {
-    if (std::shared_ptr<const Tensor> cached = cache_->Lookup(id)) {
+  if (cache_ == nullptr) {
+    OpCounter ops;
+    Tensor answer;
+    VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(id, &ops));
+    VECUBE_RETURN_NOT_OK(VerifyOpCount(id, ops.adds));
+    ++stats_.queries;
+    stats_.assembly_ops += ops.adds;
+    if (options_.track_accesses) access_log_.Record(id);
+    return answer;
+  }
+  for (;;) {
+    ViewCache::LookupOutcome outcome = cache_->LookupOrBegin(id);
+    if (outcome.hit) {
       // Bit-exact with a fresh assembly (determinism invariant); no ops
       // were spent, so there is no measured count to verify.
       ++stats_.queries;
-      if (options_.track_accesses) tracker_.Record(id);
-      return *cached;
+      if (options_.track_accesses) access_log_.Record(id);
+      return *outcome.hit;
     }
-  }
-  OpCounter ops;
-  Tensor answer;
-  VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(id, &ops));
-  VECUBE_RETURN_NOT_OK(VerifyOpCount(id, ops.adds));
-  if (cache_ != nullptr) {
+    if (!outcome.fill.leader()) {
+      // Another caller is already assembling this element; wait for its
+      // answer instead of duplicating the work (single-flight).
+      std::shared_ptr<const Tensor> filled = cache_->WaitFill(outcome.fill);
+      if (filled == nullptr) continue;  // leader aborted — retry
+      ++stats_.queries;
+      if (options_.track_accesses) access_log_.Record(id);
+      return *filled;
+    }
+    OpCounter ops;
+    Result<Tensor> answer = engine_->Assemble(id, &ops);
+    if (!answer.ok()) {
+      // Wake any coalesced followers so they retry rather than hang.
+      cache_->AbortFill(std::move(outcome.fill));
+      return answer.status();
+    }
+    if (Status verified = VerifyOpCount(id, ops.adds); !verified.ok()) {
+      cache_->AbortFill(std::move(outcome.fill));
+      return verified;
+    }
     // PlanCost is memoized from the assembly that just ran — exactly the
     // ops a future hit on this entry will save.
-    cache_->Insert(id, answer, engine_->PlanCost(id));
+    std::shared_ptr<const Tensor> served = cache_->CompleteFill(
+        std::move(outcome.fill), std::move(answer).value(),
+        engine_->PlanCost(id));
+    ++stats_.queries;
+    stats_.assembly_ops += ops.adds;
+    if (options_.track_accesses) access_log_.Record(id);
+    return *served;
   }
-  ++stats_.queries;
-  stats_.assembly_ops += ops.adds;
-  if (options_.track_accesses) tracker_.Record(id);
-  return answer;
 }
 
 Result<double> OlapSession::RangeSum(const RangeSpec& range) {

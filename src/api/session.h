@@ -115,6 +115,10 @@ class OlapSession {
  public:
   using Options = OlapSessionOptions;
 
+  /// Drains the buffered access log so no observed-traffic history is
+  /// lost (Checkpoint() and Optimize() also drain).
+  ~OlapSession();
+
   /// Starts a session over an existing cube tensor (copied in).
   static Result<std::unique_ptr<OlapSession>> FromCube(const CubeShape& shape,
                                                        Tensor cube,
@@ -189,6 +193,19 @@ class OlapSession {
   [[nodiscard]] const InvariantChecker* invariant_checker() const { return checker_.get(); }
   /// True when the serving cache is active.
   [[nodiscard]] bool caching() const { return cache_ != nullptr; }
+  /// Applies every buffered access record to the tracker immediately.
+  /// Called automatically by Optimize(), Checkpoint(), and the
+  /// destructor; exposed so tools/tests can observe up-to-date history.
+  void DrainAccessHistory() { access_log_.Drain(); }
+  /// Access records buffered but not yet applied to the tracker.
+  [[nodiscard]] size_t buffered_accesses() const {
+    return access_log_.buffered();
+  }
+  /// The observed-traffic tracker. Lags by up to buffered_accesses()
+  /// records until DrainAccessHistory() (or Optimize/Checkpoint) runs.
+  [[nodiscard]] const AccessTracker& access_tracker() const {
+    return tracker_;
+  }
   /// Serving-cache counters; a zeroed struct when the cache is disabled.
   [[nodiscard]] ServeMetrics serve_metrics() const {
     return cache_ != nullptr ? cache_->Metrics() : ServeMetrics{};
@@ -229,6 +246,10 @@ class OlapSession {
   std::unique_ptr<RangeEngine> range_engine_;
   std::unique_ptr<ViewCache> cache_;  // null unless view_cache.enabled
   AccessTracker tracker_;
+  /// Write-behind buffer in front of tracker_ keeping Record() off the
+  /// serving hit path; declared after tracker_ so it drains cleanly
+  /// first during destruction.
+  BufferedAccessLog access_log_{&tracker_};
   std::optional<QueryPopulation> declared_workload_;
   std::unique_ptr<WriteAheadLog> wal_;  // null unless durability enabled
   SessionStats stats_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <thread>
 
 namespace vecube {
 
@@ -66,6 +68,55 @@ void AccessTracker::Reset() {
   weights_.clear();
   total_ = 0;
   generation_ = 0;
+}
+
+BufferedAccessLog::BufferedAccessLog(AccessTracker* sink, size_t batch_size)
+    : sink_(sink), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+BufferedAccessLog::Stripe& BufferedAccessLog::StripeForThisThread() {
+  // Thread identity only picks a stripe — any stable per-thread value
+  // works; collisions merely share a (still tiny) critical section.
+  const size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % kStripes];
+}
+
+void BufferedAccessLog::Record(const ElementId& id) {
+  Stripe& stripe = StripeForThisThread();
+  std::vector<ElementId> batch;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.pending.push_back(id);
+    if (stripe.pending.size() < batch_size_) return;
+    batch.swap(stripe.pending);
+    stripe.pending.reserve(batch_size_);
+  }
+  ApplyToSink(batch);
+}
+
+void BufferedAccessLog::Drain() {
+  for (Stripe& stripe : stripes_) {
+    std::vector<ElementId> batch;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      batch.swap(stripe.pending);
+    }
+    if (!batch.empty()) ApplyToSink(batch);
+  }
+}
+
+size_t BufferedAccessLog::buffered() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.pending.size();
+  }
+  return total;
+}
+
+void BufferedAccessLog::ApplyToSink(const std::vector<ElementId>& records) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  for (const ElementId& id : records) sink_->Record(id);
 }
 
 }  // namespace vecube

@@ -24,7 +24,10 @@
 #ifndef VECUBE_CORE_TRACKER_H_
 #define VECUBE_CORE_TRACKER_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -81,6 +84,60 @@ class AccessTracker {
   uint64_t total_ = 0;
   uint64_t generation_ = 0;  ///< one tick per Record()
   std::unordered_map<ElementId, Entry, ElementIdHash> weights_;
+};
+
+/// Thread-safe write-behind front for AccessTracker, keeping tracker
+/// bookkeeping off the serving hit path. Record() appends to a striped
+/// (thread-hashed) buffer under a stripe-local mutex — uncontended in
+/// the common case and never touching the shared tracker map — and the
+/// stripe is applied to the tracker in one batch when it reaches
+/// `batch_size` (or on Drain()).
+///
+/// Semantics: every recorded access is applied exactly once; none are
+/// lost (Drain() flushes the tail). What buffering relaxes is global
+/// interleaving order — with decay == 1.0 the drained tracker state is
+/// IDENTICAL to eager recording (counting is order-independent); with
+/// decay < 1.0 the decayed weights differ by at most the reordering
+/// window of one batch, which is noise against the drift threshold.
+///
+/// Readers of the underlying tracker (Distribution, L1Drift,
+/// total_accesses) must Drain() first and not race further Record()
+/// calls — the tracker itself stays single-writer.
+class BufferedAccessLog {
+ public:
+  static constexpr size_t kDefaultBatchSize = 256;
+
+  /// `sink` must outlive the log. `batch_size` >= 1.
+  explicit BufferedAccessLog(AccessTracker* sink,
+                             size_t batch_size = kDefaultBatchSize);
+
+  /// Buffers one access; applies the calling thread's stripe to the
+  /// sink when it reaches the batch size. Thread-safe.
+  void Record(const ElementId& id);
+
+  /// Applies every buffered record to the sink. Thread-safe; records
+  /// buffered by other threads are included.
+  void Drain();
+
+  /// Records currently buffered (snapshot; exact when quiescent).
+  [[nodiscard]] size_t buffered() const;
+
+ private:
+  // Stripes are cache-line separated so concurrent recorders on
+  // different stripes never false-share.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<ElementId> pending;
+  };
+  static constexpr size_t kStripes = 16;
+
+  Stripe& StripeForThisThread();
+  void ApplyToSink(const std::vector<ElementId>& records);
+
+  AccessTracker* sink_;
+  size_t batch_size_;
+  std::mutex sink_mu_;  ///< serializes batch application to the sink
+  std::array<Stripe, kStripes> stripes_;
 };
 
 }  // namespace vecube

@@ -49,21 +49,40 @@ Result<double> RangeEngine::RangeSum(const RangeSpec& range,
     VECUBE_ASSIGN_OR_RETURN(id, ElementId::Intermediate(levels, shape));
 
     const Tensor* element = nullptr;
-    std::shared_ptr<const Tensor> cached;  // keeps a cache hit alive
+    std::shared_ptr<const Tensor> cached;      // keeps a filled answer alive
+    ViewCache::ReadHandle pinned;              // keeps a cache hit alive
     if (store_->Contains(id)) {
       VECUBE_ASSIGN_OR_RETURN(element, store_->Get(id));
     } else if (cache_ != nullptr &&
                policy_ == MissingElementPolicy::kAssemble) {
-      cached = cache_->Lookup(id);
-      if (cached == nullptr) {
+      // Single-flight through the serving cache: a hit is a pinned,
+      // refcount-free read scoped to this odometer step; concurrent
+      // misses on the same intermediate assemble it exactly once.
+      while (element == nullptr) {
+        ViewCache::LookupOutcome outcome = cache_->LookupOrBegin(id);
+        if (outcome.hit) {
+          pinned = std::move(outcome.hit);
+          element = pinned.get();
+          break;
+        }
+        if (!outcome.fill.leader()) {
+          cached = cache_->WaitFill(outcome.fill);
+          element = cached.get();  // null on abort — retry the lookup
+          continue;
+        }
         if (stats != nullptr) ++stats->elements_missing;
         OpCounter ops;
-        Tensor data;
-        VECUBE_ASSIGN_OR_RETURN(data, engine_.Assemble(id, &ops));
+        Result<Tensor> data = engine_.Assemble(id, &ops);
+        if (!data.ok()) {
+          cache_->AbortFill(std::move(outcome.fill));
+          return data.status();
+        }
         if (stats != nullptr) stats->assembly_ops += ops.adds;
-        cached = cache_->Insert(id, std::move(data), engine_.PlanCost(id));
+        cached = cache_->CompleteFill(std::move(outcome.fill),
+                                      std::move(data).value(),
+                                      engine_.PlanCost(id));
+        element = cached.get();
       }
-      element = cached.get();
     } else if (assembled_cache_.Contains(id)) {
       VECUBE_ASSIGN_OR_RETURN(element, assembled_cache_.Get(id));
     } else if (policy_ == MissingElementPolicy::kAssemble) {

@@ -26,24 +26,47 @@ Result<std::unique_ptr<DynamicAssembler>> DynamicAssembler::Make(
   return assembler;
 }
 
+DynamicAssembler::~DynamicAssembler() {
+  // Buffered observations must reach the tracker before anything still
+  // holding a reference reads the final history.
+  access_log_.Drain();
+}
+
 Result<Tensor> DynamicAssembler::Query(const ElementId& view, OpCounter* ops) {
   Tensor answer;
-  bool served_from_cache = false;
-  if (cache_ != nullptr) {
-    if (std::shared_ptr<const Tensor> cached = cache_->Lookup(view)) {
-      answer = *cached;
-      served_from_cache = true;
-    }
-  }
-  if (!served_from_cache) {
+  if (cache_ == nullptr) {
     VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(view, ops));
-    if (cache_ != nullptr) {
+  } else {
+    for (;;) {
+      ViewCache::LookupOutcome outcome = cache_->LookupOrBegin(view);
+      if (outcome.hit) {
+        answer = *outcome.hit;
+        break;
+      }
+      if (!outcome.fill.leader()) {
+        // Another caller is assembling this view; coalesce onto its
+        // result instead of duplicating the work.
+        std::shared_ptr<const Tensor> filled =
+            cache_->WaitFill(outcome.fill);
+        if (filled == nullptr) continue;  // leader aborted — retry
+        answer = *filled;
+        break;
+      }
+      Result<Tensor> assembled = engine_->Assemble(view, ops);
+      if (!assembled.ok()) {
+        cache_->AbortFill(std::move(outcome.fill));
+        return assembled.status();
+      }
       // PlanCost is memoized from the assembly that just ran — a table
       // lookup, and exactly the ops a future hit will save.
-      cache_->Insert(view, answer, engine_->PlanCost(view));
+      std::shared_ptr<const Tensor> served = cache_->CompleteFill(
+          std::move(outcome.fill), std::move(assembled).value(),
+          engine_->PlanCost(view));
+      answer = *served;
+      break;
     }
   }
-  tracker_.Record(view);
+  access_log_.Record(view);
   ++queries_served_;
   // The query was answered; a failed adaptation is a background-health
   // event, not a query error. Record it and return the answer anyway.
@@ -59,6 +82,9 @@ Status DynamicAssembler::MaybeReconfigure() {
       options_.min_queries_between_reconfigs) {
     return Status::OK();
   }
+  // Drift must be evaluated against the complete observed history,
+  // including records still in the write-behind buffer.
+  access_log_.Drain();
   if (tracker_.L1Drift(baseline_distribution_) < options_.drift_threshold) {
     return Status::OK();
   }
@@ -70,6 +96,7 @@ Status DynamicAssembler::Reconfigure() {
     return Status::Internal(
         "injected reconfiguration failure (failpoint dynamic.reconfigure)");
   }
+  access_log_.Drain();
   const auto distribution = tracker_.Distribution();
   if (distribution.empty()) {
     return Status::FailedPrecondition("no accesses observed yet");

@@ -54,6 +54,9 @@ class DynamicAssembler {
   static Result<std::unique_ptr<DynamicAssembler>> Make(
       const CubeShape& shape, const Tensor& cube, DynamicOptions options);
 
+  /// Drains the buffered access log so no observed history is lost.
+  ~DynamicAssembler();
+
   /// Answers a query for `view`, records the access, and possibly
   /// reconfigures *after* answering. `ops` accrues assembly operations
   /// (nothing on a cache hit). A failed reconfiguration never discards
@@ -70,7 +73,16 @@ class DynamicAssembler {
   [[nodiscard]] const ElementStore& store() const { return store_; }
   [[nodiscard]] uint64_t reconfiguration_count() const { return reconfigurations_; }
   [[nodiscard]] uint64_t queries_served() const { return queries_served_; }
+  /// The observed-traffic tracker. Query() buffers its records; they are
+  /// applied before every drift evaluation and by DrainAccessHistory(),
+  /// so the tracker lags by at most the records of the current batch.
   [[nodiscard]] const AccessTracker& tracker() const { return tracker_; }
+  /// Applies every buffered access record to the tracker immediately.
+  void DrainAccessHistory() { access_log_.Drain(); }
+  /// Access records buffered but not yet applied to the tracker.
+  [[nodiscard]] size_t buffered_accesses() const {
+    return access_log_.buffered();
+  }
   /// Status of the most recent reconfiguration attempt triggered from
   /// Query(); OK when none has failed since the last success.
   [[nodiscard]] const Status& last_reconfig_error() const {
@@ -105,6 +117,9 @@ class DynamicAssembler {
   std::unique_ptr<AssemblyEngine> engine_;
   std::unique_ptr<ViewCache> cache_;  // null unless options.cache.enabled
   AccessTracker tracker_;
+  /// Write-behind buffer keeping tracker bookkeeping off the serving hit
+  /// path; declared after tracker_ so destruction drains first.
+  BufferedAccessLog access_log_{&tracker_};
   /// Distribution the current basis was selected against.
   std::vector<std::pair<ElementId, double>> baseline_distribution_;
   uint64_t queries_served_ = 0;

@@ -2,9 +2,82 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <utility>
 
 namespace vecube {
+
+// A resident element. Shared between successive table versions (a COW
+// publish copies the pointer, not the entry), so the lock-free hit
+// counter a reader bumps is the same object no matter which table
+// version the reader loaded. Everything except `pending_hits` is either
+// immutable after construction or guarded by the owning shard's mu.
+struct ViewCache::Entry {
+  std::shared_ptr<const Tensor> data;
+  uint64_t assembly_cost = 0;
+  uint64_t bytes = 0;
+  /// Hits recorded since the last fold, bumped relaxed by readers.
+  std::atomic<uint64_t> pending_hits{0};
+  /// Decayed hit weight as of write-generation `folded_at` (mu).
+  double folded_heat = 0.0;
+  uint64_t folded_at = 0;
+};
+
+// One immutable published version of a shard's resident set. Readers
+// reach it through Shard::live under an epoch pin; writers replace it
+// wholesale and retire the old version through the limbo list.
+struct ViewCache::Table {
+  std::unordered_map<ElementId, std::shared_ptr<Entry>, ElementIdHash> map;
+  uint64_t bytes = 0;
+};
+
+// One in-flight assembly, shared by its leader and all coalesced
+// followers. `m`/`cv` are local to the flight — waiting followers never
+// touch the shard lock until the result is ready.
+struct ViewCache::Flight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  bool aborted = false;
+  std::shared_ptr<const Tensor> result;
+  uint64_t assembly_cost = 0;
+};
+
+struct ViewCache::Shard {
+  // A retired table version plus the entries that publish removed,
+  // destroyable once every reader epoch passes `tag`. Removed entries
+  // ride here explicitly (not just inside the old table) so their final
+  // pending hit counts can be folded exactly at reclaim time — after
+  // which no reader can still bump them.
+  struct Limbo {
+    uint64_t tag = 0;
+    std::unique_ptr<const Table> table;
+    std::vector<std::shared_ptr<Entry>> dying;
+  };
+
+  mutable std::mutex mu;
+  /// The published resident set. Readers: acquire-load under an epoch
+  /// pin. Writers: replaced only via PublishLocked while holding mu.
+  std::atomic<const Table*> live{nullptr};
+  /// Misses are recorded on the (lock-free) read path.
+  std::atomic<uint64_t> misses{0};
+
+  // Everything below is guarded by mu.
+  uint64_t generation = 0;   ///< write generation, drives heat decay
+  uint64_t flush_epoch = 0;  ///< bumped by InvalidateAll; stales fills
+  uint64_t folded_hits = 0;
+  uint64_t coalesced_hits = 0;
+  uint64_t insertions = 0;
+  uint64_t rejected_inserts = 0;
+  uint64_t stale_fills = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t folded_ops_saved = 0;
+  uint64_t ops_executed = 0;
+  std::unordered_map<ElementId, std::shared_ptr<Flight>, ElementIdHash>
+      flights;
+  std::deque<Limbo> limbo;  ///< retire-tag ascending
+};
 
 ViewCache::ViewCache(ViewCacheOptions options) : options_(options) {
   if (options_.shards == 0) options_.shards = 1;
@@ -14,7 +87,19 @@ ViewCache::ViewCache(ViewCacheOptions options) : options_(options) {
   shard_capacity_bytes_ = options_.capacity_bytes / options_.shards;
   shards_.reserve(options_.shards);
   for (uint32_t s = 0; s < options_.shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    auto table = std::make_unique<Table>();
+    shard->live.store(table.release(), std::memory_order_relaxed);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ViewCache::~ViewCache() {
+  // Precondition (as for any destructor): no concurrent calls. The limbo
+  // lists clean themselves up; the published tables are reclaimed here.
+  for (auto& shard : shards_) {
+    std::unique_ptr<const Table> live(
+        shard->live.exchange(nullptr, std::memory_order_relaxed));
   }
 }
 
@@ -22,111 +107,320 @@ ViewCache::Shard& ViewCache::ShardFor(const ElementId& id) {
   return *shards_[ElementIdHash{}(id) % shards_.size()];
 }
 
-double ViewCache::DecayedHeat(const Shard& shard, const Entry& entry) const {
-  if (options_.heat_decay >= 1.0 || entry.heat == 0.0) return entry.heat;
-  const uint64_t gap = shard.generation - entry.touched;
-  if (gap == 0) return entry.heat;
-  return entry.heat *
-         std::pow(options_.heat_decay, static_cast<double>(gap));
-}
-
-double ViewCache::Score(const Shard& shard, const Entry& entry) const {
-  // Benefit of keeping the entry: expected near-future hits (the decayed
-  // hit weight) times what each hit saves (its Procedure-3 rebuild cost).
-  // The +1 keeps free-to-rebuild entries ordered by heat among
-  // themselves instead of collapsing to a zero tie.
-  return DecayedHeat(shard, entry) *
-         (1.0 + static_cast<double>(entry.assembly_cost));
-}
-
-void ViewCache::EvictForLocked(Shard* shard, uint64_t needed) {
-  while (!shard->map.empty() &&
-         shard->bytes + needed > shard_capacity_bytes_) {
-    auto victim = shard->map.begin();
-    double victim_score = Score(*shard, victim->second);
-    for (auto it = std::next(shard->map.begin()); it != shard->map.end();
-         ++it) {
-      const double score = Score(*shard, it->second);
-      if (score < victim_score) {
-        victim = it;
-        victim_score = score;
-      }
-    }
-    shard->bytes -= victim->second.bytes;
-    shard->map.erase(victim);
-    ++shard->evictions;
+ViewCache::ReadHandle ViewCache::FindPinned(
+    const ElementId& id, bool count_miss,
+    std::shared_ptr<const Tensor>* out_shared) {
+  Shard& shard = ShardFor(id);
+  EpochDomain::Pin pin = EpochDomain::Acquire();
+  const Table* table = shard.live.load(std::memory_order_acquire);
+  auto it = table->map.find(id);
+  if (it == table->map.end()) {
+    if (count_miss) shard.misses.fetch_add(1, std::memory_order_relaxed);
+    return ReadHandle();
   }
+  Entry* entry = it->second.get();
+  entry->pending_hits.fetch_add(1, std::memory_order_relaxed);
+  if (out_shared != nullptr) *out_shared = entry->data;
+  return ReadHandle(std::move(pin), entry->data.get());
+}
+
+ViewCache::ReadHandle ViewCache::LookupPinned(const ElementId& id) {
+  return FindPinned(id, /*count_miss=*/true, nullptr);
 }
 
 std::shared_ptr<const Tensor> ViewCache::Lookup(const ElementId& id) {
+  // The shared_ptr copy happens under the probe's pin (the entry and its
+  // control block are alive), after which the handle itself can drop.
+  std::shared_ptr<const Tensor> shared;
+  FindPinned(id, /*count_miss=*/true, &shared);
+  return shared;
+}
+
+ViewCache::LookupOutcome ViewCache::LookupOrBegin(const ElementId& id) {
+  LookupOutcome out;
+  out.hit = FindPinned(id, /*count_miss=*/false, nullptr);
+  if (out.hit) return out;
+
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.generation;
-  auto it = shard.map.find(id);
-  if (it == shard.map.end()) {
-    ++shard.misses;
-    return nullptr;
+  // Re-probe under the lock: a fill may have landed since the lock-free
+  // probe. The table cannot be retired while mu is held, and the pin is
+  // taken before mu is released, so the handle stays valid afterwards.
+  const Table* table = shard.live.load(std::memory_order_acquire);
+  auto it = table->map.find(id);
+  if (it != table->map.end()) {
+    EpochDomain::Pin pin = EpochDomain::Acquire();
+    Entry* entry = it->second.get();
+    entry->pending_hits.fetch_add(1, std::memory_order_relaxed);
+    out.hit = ReadHandle(std::move(pin), entry->data.get());
+    return out;
   }
-  Entry& entry = it->second;
-  entry.heat = DecayedHeat(shard, entry) + 1.0;
-  entry.touched = shard.generation;
-  ++shard.hits;
-  shard.assembly_ops_saved += entry.assembly_cost;
-  return entry.data;
+  auto fit = shard.flights.find(id);
+  if (fit != shard.flights.end()) {
+    out.fill.flight_ = fit->second;
+    out.fill.id_ = id;
+    out.fill.leader_ = false;
+    return out;
+  }
+  auto flight = std::make_shared<Flight>();
+  shard.flights.emplace(id, flight);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  out.fill.flight_ = std::move(flight);
+  out.fill.id_ = id;
+  out.fill.flush_epoch_ = shard.flush_epoch;
+  out.fill.leader_ = true;
+  return out;
+}
+
+std::shared_ptr<const Tensor> ViewCache::CompleteFill(
+    FillTicket ticket, Tensor data, uint64_t assembly_cost) {
+  if (!ticket.valid() || !ticket.leader()) return nullptr;
+  auto shared = std::make_shared<const Tensor>(std::move(data));
+  Shard& shard = ShardFor(ticket.id_);
+  std::shared_ptr<const Tensor> served = shared;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ops_executed += assembly_cost;
+    auto fit = shard.flights.find(ticket.id_);
+    if (fit != shard.flights.end() && fit->second == ticket.flight_) {
+      shard.flights.erase(fit);
+    }
+    if (ticket.flush_epoch_ != shard.flush_epoch) {
+      // A flush landed between the miss and this fill: the tensor still
+      // answers the queries already waiting on it (they began before the
+      // flush, so it linearizes before), but must not outlive the flush
+      // inside the cache.
+      ++shard.stale_fills;
+    } else {
+      served = InsertLocked(&shard, ticket.id_, shared, assembly_cost);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> flight_lock(ticket.flight_->m);
+    ticket.flight_->result = served;
+    ticket.flight_->assembly_cost = assembly_cost;
+    ticket.flight_->done = true;
+  }
+  ticket.flight_->cv.notify_all();
+  return served;
+}
+
+void ViewCache::AbortFill(FillTicket ticket) {
+  if (!ticket.valid() || !ticket.leader()) return;
+  Shard& shard = ShardFor(ticket.id_);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto fit = shard.flights.find(ticket.id_);
+    if (fit != shard.flights.end() && fit->second == ticket.flight_) {
+      shard.flights.erase(fit);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> flight_lock(ticket.flight_->m);
+    ticket.flight_->aborted = true;
+    ticket.flight_->done = true;
+  }
+  ticket.flight_->cv.notify_all();
+}
+
+std::shared_ptr<const Tensor> ViewCache::WaitFill(const FillTicket& ticket) {
+  if (!ticket.valid() || ticket.leader()) return nullptr;
+  Flight& flight = *ticket.flight_;
+  std::shared_ptr<const Tensor> result;
+  uint64_t cost = 0;
+  {
+    std::unique_lock<std::mutex> flight_lock(flight.m);
+    flight.cv.wait(flight_lock, [&flight] { return flight.done; });
+    if (flight.aborted) return nullptr;
+    result = flight.result;
+    cost = flight.assembly_cost;
+  }
+  // The coalesced query is a hit in every accounting sense: it spent no
+  // assembly ops and saved its full rebuild cost.
+  Shard& shard = ShardFor(ticket.id_);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.folded_hits;
+  ++shard.coalesced_hits;
+  shard.folded_ops_saved += cost;
+  return result;
 }
 
 std::shared_ptr<const Tensor> ViewCache::Insert(const ElementId& id,
                                                 Tensor data,
                                                 uint64_t assembly_cost) {
-  const uint64_t bytes = data.size() * sizeof(double);
+  auto shared = std::make_shared<const Tensor>(std::move(data));
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.generation;
-  auto it = shard.map.find(id);
-  if (it != shard.map.end()) {
+  // The caller assembled this tensor whether or not it gets retained.
+  shard.ops_executed += assembly_cost;
+  return InsertLocked(&shard, id, std::move(shared), assembly_cost);
+}
+
+std::shared_ptr<const Tensor> ViewCache::InsertLocked(
+    Shard* shard, const ElementId& id, std::shared_ptr<const Tensor> shared,
+    uint64_t assembly_cost) {
+  ++shard->generation;
+  const Table* live = shard->live.load(std::memory_order_relaxed);
+  auto it = live->map.find(id);
+  if (it != live->map.end()) {
     // First writer wins: assembly is deterministic, so a concurrent
-    // duplicate insert carries bit-identical data; keep the shared copy.
-    Entry& entry = it->second;
-    entry.heat = DecayedHeat(shard, entry) + 1.0;
-    entry.touched = shard.generation;
-    return entry.data;
+    // duplicate insert carries bit-identical data; keep the shared copy
+    // (and count the duplicate as a touch).
+    Entry* entry = it->second.get();
+    FoldEntryLocked(shard, entry);
+    entry->folded_heat += 1.0;
+    return entry->data;
   }
-  auto shared = std::make_shared<const Tensor>(std::move(data));
+  const uint64_t bytes = shared->size() * sizeof(double);
   if (bytes > shard_capacity_bytes_) {
-    ++shard.rejected_inserts;
+    ++shard->rejected_inserts;
     return shared;
   }
-  EvictForLocked(&shard, bytes);
-  Entry entry;
-  entry.data = shared;
-  entry.assembly_cost = assembly_cost;
-  entry.bytes = bytes;
-  entry.heat = 1.0;
-  entry.touched = shard.generation;
-  shard.map.emplace(id, std::move(entry));
-  shard.bytes += bytes;
-  ++shard.insertions;
-  return shared;
+  auto next = std::make_unique<Table>();
+  next->map = live->map;
+  next->bytes = live->bytes;
+  EvictIntoLocked(shard, next.get(), bytes);
+  // EvictIntoLocked detached the victims from `next`; recover them by
+  // set difference so they can ride the limbo list to exact reclaim.
+  std::vector<std::shared_ptr<Entry>> removed;
+  if (next->map.size() != live->map.size()) {
+    removed.reserve(live->map.size() - next->map.size());
+    for (const auto& [live_id, live_entry] : live->map) {
+      if (next->map.find(live_id) == next->map.end()) {
+        removed.push_back(live_entry);
+      }
+    }
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->data = std::move(shared);
+  entry->assembly_cost = assembly_cost;
+  entry->bytes = bytes;
+  entry->folded_heat = 1.0;
+  entry->folded_at = shard->generation;
+  std::shared_ptr<const Tensor> retained = entry->data;
+  next->map.emplace(id, std::move(entry));
+  next->bytes += bytes;
+  ++shard->insertions;
+  PublishLocked(shard, std::move(next), std::move(removed));
+  return retained;
+}
+
+void ViewCache::FoldEntryLocked(Shard* shard, Entry* entry) const {
+  const uint64_t pending =
+      entry->pending_hits.exchange(0, std::memory_order_relaxed);
+  if (options_.heat_decay < 1.0 && entry->folded_heat != 0.0) {
+    const uint64_t gap = shard->generation - entry->folded_at;
+    if (gap != 0) {
+      entry->folded_heat *=
+          std::pow(options_.heat_decay, static_cast<double>(gap));
+    }
+  }
+  entry->folded_heat += static_cast<double>(pending);
+  entry->folded_at = shard->generation;
+  shard->folded_hits += pending;
+  shard->folded_ops_saved += pending * entry->assembly_cost;
+}
+
+double ViewCache::ScoreLocked(const Shard& shard, const Entry& entry) const {
+  // Benefit of keeping the entry: expected near-future hits (the decayed
+  // hit weight) times what each hit saves (its Procedure-3 rebuild
+  // cost). The +1 keeps free-to-rebuild entries ordered by heat among
+  // themselves instead of collapsing to a zero tie.
+  (void)shard;
+  return entry.folded_heat *
+         (1.0 + static_cast<double>(entry.assembly_cost));
+}
+
+void ViewCache::EvictIntoLocked(Shard* shard, Table* next, uint64_t needed) {
+  if (next->bytes + needed <= shard_capacity_bytes_) return;
+  // Fold every entry once so scores compare decayed heat plus all hits
+  // recorded so far. Hits landing on a victim after this fold stay in
+  // its pending counter and are folded exactly at reclaim time.
+  for (auto& [id, entry] : next->map) FoldEntryLocked(shard, entry.get());
+  while (!next->map.empty() &&
+         next->bytes + needed > shard_capacity_bytes_) {
+    auto victim = next->map.begin();
+    double victim_score = ScoreLocked(*shard, *victim->second);
+    for (auto it = std::next(next->map.begin()); it != next->map.end();
+         ++it) {
+      const double score = ScoreLocked(*shard, *it->second);
+      if (score < victim_score) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    next->bytes -= victim->second->bytes;
+    next->map.erase(victim);
+    ++shard->evictions;
+  }
+}
+
+void ViewCache::PublishLocked(Shard* shard, std::unique_ptr<Table> next,
+                              std::vector<std::shared_ptr<Entry>> removed) {
+  std::unique_ptr<const Table> old(
+      shard->live.load(std::memory_order_relaxed));
+  // seq_cst so a reader whose pin confirms an epoch past our retire tag
+  // is guaranteed to load this replacement, never `old` (see epoch.h).
+  shard->live.store(next.release(), std::memory_order_seq_cst);
+  const uint64_t tag = EpochDomain::Instance().Retire();
+  shard->limbo.push_back(
+      Shard::Limbo{tag, std::move(old), std::move(removed)});
+  ReclaimLocked(shard);
+}
+
+void ViewCache::ReclaimLocked(Shard* shard) const {
+  if (shard->limbo.empty()) return;
+  const uint64_t min_pinned = EpochDomain::Instance().MinPinned();
+  while (!shard->limbo.empty() && shard->limbo.front().tag < min_pinned) {
+    Shard::Limbo& rec = shard->limbo.front();
+    // No reader can reach these entries any more: fold their final hit
+    // counts so ServeMetrics::hits stays exact across removals.
+    for (const std::shared_ptr<Entry>& entry : rec.dying) {
+      const uint64_t pending =
+          entry->pending_hits.exchange(0, std::memory_order_relaxed);
+      shard->folded_hits += pending;
+      shard->folded_ops_saved += pending * entry->assembly_cost;
+    }
+    shard->limbo.pop_front();
+  }
 }
 
 void ViewCache::Invalidate(const ElementId& id) {
   Shard& shard = ShardFor(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(id);
-  if (it == shard.map.end()) return;
-  shard.bytes -= it->second.bytes;
-  shard.map.erase(it);
+  const Table* live = shard.live.load(std::memory_order_relaxed);
+  auto it = live->map.find(id);
+  if (it == live->map.end()) return;
+  ++shard.generation;
+  auto next = std::make_unique<Table>();
+  next->map = live->map;
+  next->bytes = live->bytes - it->second->bytes;
+  std::vector<std::shared_ptr<Entry>> removed;
+  removed.push_back(it->second);
+  next->map.erase(id);
   ++shard.invalidations;
+  PublishLocked(&shard, std::move(next), std::move(removed));
 }
 
 uint64_t ViewCache::InvalidateAll() {
   uint64_t dropped = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    dropped += shard->map.size();
-    shard->invalidations += shard->map.size();
-    shard->map.clear();
-    shard->bytes = 0;
+    // Stale any in-flight fill and orphan its flight: post-flush misses
+    // on the same ids must start fresh assemblies against the new data.
+    ++shard->flush_epoch;
+    shard->flights.clear();
+    const Table* live = shard->live.load(std::memory_order_relaxed);
+    if (live->map.empty()) continue;
+    ++shard->generation;
+    const uint64_t count = live->map.size();
+    dropped += count;
+    shard->invalidations += count;
+    std::vector<std::shared_ptr<Entry>> removed;
+    removed.reserve(count);
+    for (const auto& [id, entry] : live->map) removed.push_back(entry);
+    PublishLocked(shard.get(), std::make_unique<Table>(),
+                  std::move(removed));
   }
   return dropped;
 }
@@ -135,15 +429,37 @@ ServeMetrics ViewCache::Metrics() const {
   ServeMetrics metrics;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    metrics.hits += shard->hits;
-    metrics.misses += shard->misses;
+    metrics.misses += shard->misses.load(std::memory_order_relaxed);
+    metrics.hits += shard->folded_hits;
+    metrics.coalesced_hits += shard->coalesced_hits;
     metrics.insertions += shard->insertions;
     metrics.rejected_inserts += shard->rejected_inserts;
+    metrics.stale_fills += shard->stale_fills;
     metrics.evictions += shard->evictions;
     metrics.invalidations += shard->invalidations;
-    metrics.entries += shard->map.size();
-    metrics.bytes_resident += shard->bytes;
-    metrics.assembly_ops_saved += shard->assembly_ops_saved;
+    metrics.assembly_ops_saved += shard->folded_ops_saved;
+    metrics.assembly_ops_executed += shard->ops_executed;
+    const Table* live = shard->live.load(std::memory_order_relaxed);
+    metrics.entries += live->map.size();
+    metrics.bytes_resident += live->bytes;
+    // Unfolded hits: still pending on live entries, or on dying entries
+    // not yet reclaimed. Counting both keeps the aggregate exact
+    // whenever the cache is quiescent (and a consistent snapshot
+    // otherwise).
+    for (const auto& [id, entry] : live->map) {
+      const uint64_t pending =
+          entry->pending_hits.load(std::memory_order_relaxed);
+      metrics.hits += pending;
+      metrics.assembly_ops_saved += pending * entry->assembly_cost;
+    }
+    for (const Shard::Limbo& rec : shard->limbo) {
+      for (const std::shared_ptr<Entry>& entry : rec.dying) {
+        const uint64_t pending =
+            entry->pending_hits.load(std::memory_order_relaxed);
+        metrics.hits += pending;
+        metrics.assembly_ops_saved += pending * entry->assembly_cost;
+      }
+    }
   }
   return metrics;
 }

@@ -14,30 +14,47 @@
 // or expensive — exactly the benefit metric Section 5 optimizes, applied
 // to cache residency instead of materialization.
 //
-// Concurrency: the key space is sharded by ElementId hash; each shard is
-// an independently locked map, so readers on different shards never
-// contend. Entries hand out shared_ptr<const Tensor>; invalidation drops
-// the cache's reference but in-flight readers keep theirs, so a flush
-// concurrent with a lookup is safe and the reader sees a complete,
-// internally consistent tensor (never a torn one).
+// Concurrency (DESIGN.md §10): the hit path is contention-free. Each
+// shard publishes an immutable table of entries through an atomic
+// pointer; readers pin a process-wide epoch (util/epoch.h), load the
+// table, and record the hit with one relaxed fetch_add on the entry's
+// own counter — no mutex, no shared_ptr refcount traffic, no shared
+// mutable map. Writers (insert / evict / invalidate / flush) serialize
+// on a per-shard mutex, copy-on-write the table, and retire the old
+// version through the epoch limbo, so a reader holding a ReadHandle can
+// never observe freed memory and never blocks a writer.
 //
-// Invalidation model (see DESIGN.md §10): every view element is a linear
-// functional of the data cube, so a single point delta stales EVERY
-// cached tensor — delta hooks are a wholesale flush, not a per-key
-// invalidation. Reconfiguration/optimization swap the materialized set,
-// changing every entry's rebuild cost, so they flush too.
+// Misses are single-flight: concurrent misses on one ElementId coalesce
+// onto a single assembly. LookupOrBegin() returns either a hit, a leader
+// ticket (the caller assembles and publishes via CompleteFill), or a
+// follower ticket (WaitFill blocks until the leader finishes). The
+// leader's ticket carries the shard's flush epoch from before the
+// assembly started; a flush (InvalidateAll) that lands mid-assembly
+// bumps the epoch, and the completed fill is then served to the waiters
+// whose lookups began before the flush but is NOT retained — a stale
+// pre-flush tensor can never be re-inserted and served to later queries.
+//
+// Invalidation model: every view element is a linear functional of the
+// data cube, so a single point delta stales EVERY cached tensor — delta
+// hooks are a wholesale flush, not a per-key invalidation.
+// Reconfiguration/optimization swap the materialized set, changing every
+// entry's rebuild cost, so they flush too.
 
 #ifndef VECUBE_SERVE_VIEW_CACHE_H_
 #define VECUBE_SERVE_VIEW_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/element_id.h"
 #include "cube/tensor.h"
+#include "util/epoch.h"
 
 namespace vecube {
 
@@ -50,26 +67,46 @@ struct ViewCacheOptions {
   /// payload. Entries larger than capacity_bytes / shards are served but
   /// never retained.
   uint64_t capacity_bytes = uint64_t{64} << 20;
-  /// Number of independently locked shards (>= 1).
+  /// Number of independently locked shards (>= 1). Writers on different
+  /// shards never contend; readers never contend at all.
   uint32_t shards = 8;
-  /// Per-shard-access exponential decay of entry hit weights, in (0, 1].
-  /// 1.0 = plain hit counting.
+  /// Per-shard-write exponential decay of entry hit weights, in (0, 1].
+  /// 1.0 = plain hit counting. Applied lazily: hits accumulate in a
+  /// lock-free per-entry counter and are folded into the decayed weight
+  /// when a writer next touches the shard (hits themselves never touch
+  /// shared decay state — that is what makes the hit path contention-free).
   double heat_decay = 0.98;
 };
 
 /// Aggregate serving counters, queryable from the session and dumped by
-/// vecube_cli. A point-in-time snapshot across shards.
+/// vecube_cli. A point-in-time snapshot across shards. Counters are
+/// exact: a hit recorded by any reader is eventually folded into `hits`
+/// and never dropped, even across concurrent flushes (the fold happens
+/// only after epoch reclamation proves no reader still holds the entry).
 struct ServeMetrics {
   uint64_t hits = 0;
   uint64_t misses = 0;
+  /// Queries served by waiting on another caller's in-flight assembly of
+  /// the same element (single-flight coalescing). Counted inside `hits`.
+  uint64_t coalesced_hits = 0;
   uint64_t insertions = 0;
   uint64_t rejected_inserts = 0;  ///< entries too large to ever retain
+  /// Completed fills dropped because a flush intervened between the
+  /// miss and the insert: the answer was served but not retained.
+  uint64_t stale_fills = 0;
   uint64_t evictions = 0;        ///< entries displaced by capacity pressure
   uint64_t invalidations = 0;    ///< entries dropped by invalidate/flush
   uint64_t entries = 0;          ///< currently resident
   uint64_t bytes_resident = 0;   ///< payload bytes currently resident
   /// Σ Procedure-3 cost over hits: assembly operations the cache saved.
   uint64_t assembly_ops_saved = 0;
+  /// Σ Procedure-3 cost over fills: assembly operations actually spent by
+  /// callers populating the cache. With single-flight coalescing this is
+  /// thread-count-invariant, and
+  ///   assembly_ops_saved + assembly_ops_executed == Σ per-query cost
+  /// holds at every concurrency level (each query is exactly one of:
+  /// hit, coalesced hit, or leader fill).
+  uint64_t assembly_ops_executed = 0;
 
   [[nodiscard]] double HitRate() const {
     const uint64_t total = hits + misses;
@@ -79,18 +116,111 @@ struct ServeMetrics {
 };
 
 /// Sharded, thread-safe memoization of assembled element tensors. All
-/// public methods are safe to call concurrently from any thread.
+/// public methods are safe to call concurrently from any thread (but see
+/// the ReadHandle thread-affinity note).
 class ViewCache {
+ private:
+  struct Flight;
+  struct Entry;
+  struct Table;
+  struct Shard;
+
  public:
   explicit ViewCache(ViewCacheOptions options = {});
+  ~ViewCache();
 
   ViewCache(const ViewCache&) = delete;
   ViewCache& operator=(const ViewCache&) = delete;
 
-  /// Returns the cached tensor for `id`, or null on a miss. A hit bumps
-  /// the entry's decayed hit weight and credits its assembly cost to
-  /// assembly_ops_saved.
+  /// A zero-refcount, epoch-pinned view of a cached tensor. While the
+  /// handle lives, the tensor cannot be reclaimed (writers retire it
+  /// into the epoch limbo instead of freeing it). Release promptly —
+  /// a long-lived handle delays memory reclamation, though it never
+  /// blocks writers. Must be destroyed on the thread that looked it up.
+  class ReadHandle {
+   public:
+    ReadHandle() noexcept = default;
+    ReadHandle(ReadHandle&&) noexcept = default;
+    ReadHandle& operator=(ReadHandle&&) noexcept = default;
+    ReadHandle(const ReadHandle&) = delete;
+    ReadHandle& operator=(const ReadHandle&) = delete;
+
+    explicit operator bool() const { return data_ != nullptr; }
+    [[nodiscard]] const Tensor* get() const { return data_; }
+    const Tensor& operator*() const { return *data_; }
+    const Tensor* operator->() const { return data_; }
+
+   private:
+    friend class ViewCache;
+    ReadHandle(EpochDomain::Pin pin, const Tensor* data) noexcept
+        : pin_(std::move(pin)), data_(data) {}
+
+    EpochDomain::Pin pin_;
+    const Tensor* data_ = nullptr;
+  };
+
+  /// Permission to fill one element, handed out by LookupOrBegin() on a
+  /// miss. Exactly one concurrent caller per ElementId is the leader
+  /// (it must call CompleteFill or AbortFill); the rest are followers
+  /// (they call WaitFill).
+  class FillTicket {
+   public:
+    FillTicket() noexcept = default;
+    FillTicket(FillTicket&&) noexcept = default;
+    FillTicket& operator=(FillTicket&&) noexcept = default;
+    FillTicket(const FillTicket&) = delete;
+    FillTicket& operator=(const FillTicket&) = delete;
+
+    [[nodiscard]] bool valid() const { return flight_ != nullptr; }
+    [[nodiscard]] bool leader() const { return leader_; }
+
+   private:
+    friend class ViewCache;
+    std::shared_ptr<Flight> flight_;
+    ElementId id_;
+    uint64_t flush_epoch_ = 0;
+    bool leader_ = false;
+  };
+
+  /// Outcome of LookupOrBegin: exactly one of `hit` / `fill` is set.
+  struct LookupOutcome {
+    ReadHandle hit;
+    FillTicket fill;
+  };
+
+  /// Contention-free hit path: returns an epoch-pinned view of the
+  /// cached tensor, or an empty handle on a miss. A hit bumps the
+  /// entry's lock-free hit counter (folded into decayed heat and
+  /// assembly_ops_saved by the next writer / Metrics() call).
+  [[nodiscard]] ReadHandle LookupPinned(const ElementId& id);
+
+  /// Compatibility hit path: like LookupPinned but hands out a
+  /// shared_ptr (one refcount bump; the handle may outlive the cache
+  /// entry and be held indefinitely). Null on a miss.
   std::shared_ptr<const Tensor> Lookup(const ElementId& id);
+
+  /// Single-flight entry point: a hit returns a pinned handle; the first
+  /// concurrent miss per id returns a leader ticket (the caller must
+  /// assemble and then CompleteFill/AbortFill); later misses on the same
+  /// id return follower tickets for WaitFill. Only the leader's miss is
+  /// counted in `misses`.
+  LookupOutcome LookupOrBegin(const ElementId& id);
+
+  /// Publishes the leader's assembly result: retains it (unless a flush
+  /// intervened since LookupOrBegin — then it is a stale fill and only
+  /// served, not retained), wakes all followers, and returns a shared
+  /// handle for the leader's own answer.
+  std::shared_ptr<const Tensor> CompleteFill(FillTicket ticket, Tensor data,
+                                             uint64_t assembly_cost);
+
+  /// Leader's failure path: wakes followers empty-handed (their WaitFill
+  /// returns null and they retry, typically becoming the next leader).
+  void AbortFill(FillTicket ticket);
+
+  /// Follower wait: blocks until the leader completes or aborts. On
+  /// completion the query is a coalesced hit (credited with the entry's
+  /// assembly cost in ops_saved); returns null on abort — retry.
+  std::shared_ptr<const Tensor> WaitFill(const FillTicket& ticket);
 
   /// Caches `data` for `id` with its Procedure-3 assembly cost and
   /// returns a shared handle to it (also when the entry is too large to
@@ -106,7 +236,9 @@ class ViewCache {
   void Invalidate(const ElementId& id);
 
   /// Wholesale flush — the delta / reconfiguration hook. Returns the
-  /// number of entries dropped.
+  /// number of entries dropped. Bumps every shard's flush epoch so
+  /// in-flight fills that began before the flush cannot re-insert their
+  /// (now stale) tensors.
   uint64_t InvalidateAll();
 
   [[nodiscard]] ServeMetrics Metrics() const;
@@ -119,37 +251,40 @@ class ViewCache {
   }
 
  private:
-  struct Entry {
-    std::shared_ptr<const Tensor> data;
-    uint64_t assembly_cost = 0;
-    uint64_t bytes = 0;
-    double heat = 0.0;      ///< hit weight as of shard generation `touched`
-    uint64_t touched = 0;   ///< shard generation of the last hit/insert
-  };
-
-  struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<ElementId, Entry, ElementIdHash> map;
-    uint64_t bytes = 0;
-    uint64_t generation = 0;  ///< one tick per lookup/insert in this shard
-    // Counters, guarded by mu.
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t rejected_inserts = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
-    uint64_t assembly_ops_saved = 0;
-  };
-
   Shard& ShardFor(const ElementId& id);
-  /// `entry`'s hit weight decayed to the shard's current generation.
-  double DecayedHeat(const Shard& shard, const Entry& entry) const;
-  /// Benefit score: decayed heat * (1 + assembly cost). Callers hold mu.
-  double Score(const Shard& shard, const Entry& entry) const;
-  /// Evicts minimum-score entries until `needed` more bytes fit in the
-  /// shard budget. Callers hold mu.
-  void EvictForLocked(Shard* shard, uint64_t needed);
+  /// Fast-path probe shared by Lookup/LookupPinned/LookupOrBegin.
+  /// `count_miss` controls whether a miss ticks the shard miss counter
+  /// (LookupOrBegin counts the miss only when a leader is appointed).
+  /// When `out_shared` is non-null a hit also copies the entry's owning
+  /// pointer into it (the compat Lookup path; done under the pin, so the
+  /// control block is alive).
+  ReadHandle FindPinned(const ElementId& id, bool count_miss,
+                        std::shared_ptr<const Tensor>* out_shared);
+  /// Shared retain path for Insert and CompleteFill: dedup (first writer
+  /// wins), oversized rejection, eviction, COW publish. Returns the
+  /// tensor to serve (the retained one on dedup). Caller holds shard.mu.
+  std::shared_ptr<const Tensor> InsertLocked(
+      Shard* shard, const ElementId& id,
+      std::shared_ptr<const Tensor> shared, uint64_t assembly_cost);
+  /// Folds an entry's pending lock-free hits into its decayed heat and
+  /// the shard's persistent counters. Caller holds shard.mu.
+  void FoldEntryLocked(Shard* shard, Entry* entry) const;
+  /// Benefit score after folding: decayed heat * (1 + assembly cost).
+  /// Caller holds shard.mu.
+  [[nodiscard]] double ScoreLocked(const Shard& shard,
+                                   const Entry& entry) const;
+  /// Builds `next` from the shard's live table minus enough minimum-
+  /// score victims that `needed` more bytes fit. Caller holds shard.mu.
+  void EvictIntoLocked(Shard* shard, Table* next, uint64_t needed);
+  /// Publishes `next` as the shard's live table and retires the previous
+  /// one (plus `removed` entries) into the epoch limbo. Caller holds
+  /// shard.mu.
+  void PublishLocked(Shard* shard, std::unique_ptr<Table> next,
+                     std::vector<std::shared_ptr<Entry>> removed);
+  /// Frees limbo tables/entries whose retire epoch has been vacated by
+  /// every reader, folding the final hit counts of dying entries into
+  /// the shard counters. Caller holds shard.mu.
+  void ReclaimLocked(Shard* shard) const;
 
   ViewCacheOptions options_;
   uint64_t shard_capacity_bytes_;

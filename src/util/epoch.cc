@@ -1,0 +1,102 @@
+#include "util/epoch.h"
+
+#include <limits>
+
+namespace vecube {
+
+EpochDomain& EpochDomain::Instance() {
+  // Immortal: reclamation state must outlive every static-destruction-
+  // order-dependent reader, so the domain is constructed once and never
+  // destroyed.
+  static EpochDomain* const kDomain =
+      new EpochDomain();  // vecube-lint: disable=no-naked-new
+  return *kDomain;
+}
+
+// Returns the thread's slot to the registry pool when the thread exits.
+struct EpochDomain::SlotLease {
+  Slot* slot = nullptr;
+  ~SlotLease() {
+    if (slot != nullptr) {
+      slot->depth = 0;
+      slot->epoch.store(0, std::memory_order_release);
+      slot->in_use.store(false, std::memory_order_release);
+    }
+  }
+};
+
+EpochDomain::Slot* EpochDomain::LocalSlot() {
+  thread_local SlotLease lease;
+  if (lease.slot != nullptr) return lease.slot;
+  EpochDomain& domain = Instance();
+  // Reuse a returned slot if one is free; the acquire pairs with the
+  // release in ~SlotLease so the new owner sees a quiescent slot.
+  for (Slot* s = domain.slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    bool expected = false;
+    if (!s->in_use.load(std::memory_order_relaxed) &&
+        s->in_use.compare_exchange_strong(expected, true,
+                                          std::memory_order_acquire)) {
+      lease.slot = s;
+      return s;
+    }
+  }
+  // Registry nodes are immortal by design: writers scan the list without
+  // coordinating with thread exit, so nodes must never be deallocated.
+  Slot* fresh = new Slot();  // vecube-lint: disable=no-naked-new
+  fresh->in_use.store(true, std::memory_order_relaxed);
+  Slot* head = domain.slots_.load(std::memory_order_relaxed);
+  do {
+    fresh->next = head;
+  } while (!domain.slots_.compare_exchange_weak(head, fresh,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed));
+  lease.slot = fresh;
+  return fresh;
+}
+
+EpochDomain::Pin EpochDomain::Acquire() {
+  EpochDomain& domain = Instance();
+  Slot* slot = LocalSlot();
+  if (slot->depth++ == 0) {
+    // Announce-and-confirm: after the loop, the slot value and a
+    // subsequent read of the global epoch agree, so any retirement the
+    // announcement missed is one whose replacement this reader is
+    // guaranteed to observe (see header).
+    uint64_t e = domain.epoch_.load(std::memory_order_seq_cst);
+    for (;;) {
+      slot->epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t confirm = domain.epoch_.load(std::memory_order_seq_cst);
+      if (confirm == e) break;
+      e = confirm;
+    }
+  }
+  return Pin(true);
+}
+
+void EpochDomain::Pin::Release() noexcept {
+  if (!engaged_) return;
+  engaged_ = false;
+  Slot* slot = LocalSlot();
+  if (--slot->depth == 0) {
+    // Release-publishes every read made inside the critical section to
+    // the writer that observes the slot go quiescent before freeing.
+    slot->epoch.store(0, std::memory_order_release);
+  }
+}
+
+uint64_t EpochDomain::Retire() {
+  return epoch_.fetch_add(1, std::memory_order_seq_cst);
+}
+
+uint64_t EpochDomain::MinPinned() const {
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  for (const Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    const uint64_t e = s->epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min) min = e;
+  }
+  return min;
+}
+
+}  // namespace vecube

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -19,6 +20,8 @@
 #include "core/graph.h"
 #include "cube/synthetic.h"
 #include "cube/tensor.h"
+#include "select/dynamic.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "workload/population.h"
 
@@ -180,6 +183,151 @@ TEST(ViewCacheTest, TargetedInvalidateDropsOnlyThatEntry) {
   EXPECT_EQ(cache.Lookup(ids[0]), nullptr);
   EXPECT_NE(cache.Lookup(ids[1]), nullptr);
   EXPECT_EQ(cache.Metrics().invalidations, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight: miss coalescing, abort/retry, and the flush-epoch guard
+// against resurrecting pre-flush fills.
+
+TEST(ViewCacheTest, LookupOrBeginAppointsExactlyOneLeader) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const ElementId id = PyramidIds(*shape, 1)[0];
+
+  auto outcome = cache.LookupOrBegin(id);
+  ASSERT_FALSE(outcome.hit);
+  ASSERT_TRUE(outcome.fill.valid());
+  EXPECT_TRUE(outcome.fill.leader());
+
+  auto served = cache.CompleteFill(std::move(outcome.fill),
+                                   MakeTensor(4, 3.0), /*assembly_cost=*/7);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ((*served)[0], 3.0);
+
+  // Retained: the next lookup is a plain hit, not another flight.
+  auto again = cache.LookupOrBegin(id);
+  ASSERT_TRUE(again.hit);
+  EXPECT_EQ((*again.hit)[0], 3.0);
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.misses, 1u);
+  EXPECT_EQ(metrics.insertions, 1u);
+  EXPECT_EQ(metrics.hits, 1u);
+  EXPECT_EQ(metrics.assembly_ops_executed, 7u);
+  EXPECT_EQ(metrics.assembly_ops_saved, 7u);
+}
+
+// Regression (flush-epoch tagging): a fill that began before a wholesale
+// flush used to be inserted after it, resurrecting a tensor computed
+// from pre-delta state. The completed fill must still be served to its
+// caller (the answer was correct when the query began) but never
+// retained.
+TEST(ViewCacheTest, FlushDuringFillServesButDoesNotRetainStaleTensor) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const ElementId id = PyramidIds(*shape, 1)[0];
+
+  auto outcome = cache.LookupOrBegin(id);
+  ASSERT_TRUE(outcome.fill.valid());
+  ASSERT_TRUE(outcome.fill.leader());
+
+  // The delta hook fires while the "assembly" is in progress.
+  cache.InvalidateAll();
+
+  auto served = cache.CompleteFill(std::move(outcome.fill),
+                                   MakeTensor(4, 9.0), /*assembly_cost=*/5);
+  ASSERT_NE(served, nullptr);  // the leader still gets its answer
+  EXPECT_EQ((*served)[0], 9.0);
+
+  EXPECT_EQ(cache.Lookup(id), nullptr) << "stale fill was retained";
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.stale_fills, 1u);
+  EXPECT_EQ(metrics.insertions, 0u);
+  EXPECT_EQ(metrics.entries, 0u);
+  // The leader's work is still accounted as executed ops.
+  EXPECT_EQ(metrics.assembly_ops_executed, 5u);
+}
+
+TEST(ViewCacheTest, ConcurrentMissesCoalesceOntoOneFill) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const ElementId id = PyramidIds(*shape, 1)[0];
+  constexpr int kFollowers = 8;
+  constexpr uint64_t kCost = 40;
+
+  // Main thread takes the leader ticket, then holds the fill open until
+  // every follower has joined the flight — fully deterministic.
+  auto leader = cache.LookupOrBegin(id);
+  ASSERT_TRUE(leader.fill.valid());
+  ASSERT_TRUE(leader.fill.leader());
+
+  std::atomic<int> entered{0};
+  std::atomic<int> served_ok{0};
+  std::vector<std::thread> followers;
+  followers.reserve(kFollowers);
+  for (int i = 0; i < kFollowers; ++i) {
+    followers.emplace_back([&] {
+      auto outcome = cache.LookupOrBegin(id);
+      ASSERT_TRUE(outcome.fill.valid());
+      ASSERT_FALSE(outcome.fill.leader());
+      entered.fetch_add(1);
+      auto filled = cache.WaitFill(outcome.fill);
+      if (filled != nullptr && (*filled)[0] == 6.0) served_ok.fetch_add(1);
+    });
+  }
+  while (entered.load() < kFollowers) std::this_thread::yield();
+  auto answer =
+      cache.CompleteFill(std::move(leader.fill), MakeTensor(4, 6.0), kCost);
+  ASSERT_NE(answer, nullptr);
+  for (std::thread& follower : followers) follower.join();
+  EXPECT_EQ(served_ok.load(), kFollowers);
+
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.misses, 1u) << "followers must not count as misses";
+  EXPECT_EQ(metrics.insertions, 1u);
+  EXPECT_EQ(metrics.coalesced_hits, static_cast<uint64_t>(kFollowers));
+  EXPECT_EQ(metrics.hits, static_cast<uint64_t>(kFollowers));
+  EXPECT_EQ(metrics.assembly_ops_executed, kCost);
+  EXPECT_EQ(metrics.assembly_ops_saved, kCost * kFollowers);
+}
+
+TEST(ViewCacheTest, AbortedFillWakesFollowerToBecomeNextLeader) {
+  ViewCache cache;
+  auto shape = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape.ok());
+  const ElementId id = PyramidIds(*shape, 1)[0];
+
+  auto leader = cache.LookupOrBegin(id);
+  ASSERT_TRUE(leader.fill.leader());
+
+  std::atomic<int> entered{0};
+  std::thread follower([&] {
+    auto outcome = cache.LookupOrBegin(id);
+    ASSERT_FALSE(outcome.fill.leader());
+    entered.fetch_add(1);
+    // The leader aborts: WaitFill comes back empty and the retry wins
+    // its own leader ticket.
+    EXPECT_EQ(cache.WaitFill(outcome.fill), nullptr);
+    auto retry = cache.LookupOrBegin(id);
+    ASSERT_TRUE(retry.fill.valid());
+    ASSERT_TRUE(retry.fill.leader());
+    auto served = cache.CompleteFill(std::move(retry.fill),
+                                     MakeTensor(4, 2.0), /*assembly_cost=*/3);
+    EXPECT_NE(served, nullptr);
+  });
+  while (entered.load() < 1) std::this_thread::yield();
+  cache.AbortFill(std::move(leader.fill));
+  follower.join();
+
+  auto hit = cache.Lookup(id);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 2.0);
+  const ServeMetrics metrics = cache.Metrics();
+  EXPECT_EQ(metrics.misses, 2u);  // two appointed leaders, one aborted
+  EXPECT_EQ(metrics.insertions, 1u);
+  EXPECT_EQ(metrics.coalesced_hits, 0u);  // the abort served nobody
 }
 
 // ---------------------------------------------------------------------------
@@ -397,6 +545,188 @@ TEST(ServeStressTest, ConcurrentReadersSurviveInvalidatingWriter) {
   const ServeMetrics metrics = cache.Metrics();
   EXPECT_LE(metrics.bytes_resident, options.capacity_bytes);
   EXPECT_EQ(metrics.hits, hits.load());
+}
+
+// The serving accounting identity: every query either pays its assembly
+// cost exactly once (leader fill) or saves it exactly once (hit /
+// coalesced follower), so
+//
+//   ops_saved + ops_executed == Σ per-query cost   (the uncached baseline)
+//
+// at EVERY thread count — and with single-flight coalescing and no
+// eviction pressure, ops_executed itself is thread-count-invariant:
+// concurrency changes who assembles, never how much is assembled.
+TEST(ServeStressTest, AccountingIdentityHoldsAtEveryThreadCount) {
+  auto shape_result = CubeShape::Make({8, 8});
+  ASSERT_TRUE(shape_result.ok());
+  const std::vector<ElementId> ids = PyramidIds(*shape_result, 8);
+  const auto cost_of = [](size_t i) -> uint64_t {
+    return 10 * (static_cast<uint64_t>(i) + 1);
+  };
+
+  // Deterministic skewed query sequence, shared by every run.
+  constexpr uint64_t kQueries = 4000;
+  Rng seq_rng(0xacc7);
+  std::vector<size_t> sequence(kQueries);
+  uint64_t baseline_ops = 0;
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    const size_t pick =
+        std::min(seq_rng.UniformU64(ids.size()), seq_rng.UniformU64(ids.size()));
+    sequence[q] = pick;
+    baseline_ops += cost_of(pick);
+  }
+
+  uint64_t executed_single_threaded = 0;
+  for (const uint32_t threads : {1u, 8u}) {
+    ViewCache cache;  // default capacity: no evictions for 8 tiny entries
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint32_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        const uint64_t lo = kQueries * w / threads;
+        const uint64_t hi = kQueries * (w + 1) / threads;
+        for (uint64_t q = lo; q < hi; ++q) {
+          const size_t pick = sequence[q];
+          for (;;) {
+            auto outcome = cache.LookupOrBegin(ids[pick]);
+            if (outcome.hit) break;
+            if (!outcome.fill.leader()) {
+              if (cache.WaitFill(outcome.fill) == nullptr) continue;
+              break;
+            }
+            auto served =
+                cache.CompleteFill(std::move(outcome.fill),
+                                   MakeTensor(4, 1.0), cost_of(pick));
+            ASSERT_NE(served, nullptr);
+            break;
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    const ServeMetrics metrics = cache.Metrics();
+    EXPECT_EQ(metrics.evictions, 0u);
+    EXPECT_EQ(metrics.hits + metrics.misses, kQueries);
+    EXPECT_EQ(metrics.assembly_ops_saved + metrics.assembly_ops_executed,
+              baseline_ops)
+        << "accounting identity broken at " << threads << " threads";
+    if (threads == 1) {
+      executed_single_threaded = metrics.assembly_ops_executed;
+      EXPECT_EQ(metrics.coalesced_hits, 0u);
+    } else {
+      EXPECT_EQ(metrics.assembly_ops_executed, executed_single_threaded)
+          << "misses not coalesced: assembled work grew with concurrency";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DynamicAssembler integration: reconfiguration is the serving layer's
+// other flush source. A FAILED reconfiguration (injected via the
+// dynamic.reconfigure failpoint) must leave the cache untouched — no
+// flush, no lost entries; a successful one must flush and keep answers
+// bit-exact.
+
+TEST(DynamicServeTest, FailedReconfigureLeavesCacheIntactThenFlushWorks) {
+  auto shape_result = CubeShape::Make({4, 4});
+  ASSERT_TRUE(shape_result.ok());
+  const CubeShape shape = *shape_result;
+  Rng rng(17);
+  auto cube = UniformIntegerCube(shape, &rng, -9, 9);
+  ASSERT_TRUE(cube.ok());
+
+  DynamicOptions options;
+  options.cache.enabled = true;
+  options.min_queries_between_reconfigs = 1000;  // no auto attempts
+  auto assembler = DynamicAssembler::Make(shape, *cube, options);
+  ASSERT_TRUE(assembler.ok());
+
+  auto view = ElementId::AggregatedView(0b11, shape);
+  ASSERT_TRUE(view.ok());
+  ElementComputer computer(shape, &*cube);
+  auto expected = computer.Compute(*view);
+  ASSERT_TRUE(expected.ok());
+
+  ASSERT_TRUE((*assembler)->Query(*view).ok());  // leader fill
+  ASSERT_TRUE((*assembler)->Query(*view).ok());  // hit
+  const ServeMetrics before = (*assembler)->serve_metrics();
+  EXPECT_EQ(before.insertions, 1u);
+  EXPECT_GE(before.hits, 1u);
+
+  Failpoints::Arm("dynamic.reconfigure", FailpointAction{});
+  EXPECT_FALSE((*assembler)->Reconfigure().ok());
+  Failpoints::DisarmAll();
+
+  // Nothing was flushed: the entry is still resident and still serves.
+  const ServeMetrics after_failure = (*assembler)->serve_metrics();
+  EXPECT_EQ(after_failure.invalidations, 0u);
+  EXPECT_EQ(after_failure.entries, before.entries);
+  auto still_cached = (*assembler)->Query(*view);
+  ASSERT_TRUE(still_cached.ok());
+  EXPECT_EQ(still_cached->data(), expected->data());
+  EXPECT_GT((*assembler)->serve_metrics().hits, after_failure.hits);
+
+  // A successful reconfiguration flushes, and post-flush answers are
+  // re-assembled bit-exactly from the migrated store.
+  ASSERT_TRUE((*assembler)->Reconfigure().ok());
+  EXPECT_GT((*assembler)->serve_metrics().invalidations, 0u);
+  auto after_flush = (*assembler)->Query(*view);
+  ASSERT_TRUE(after_flush.ok());
+  EXPECT_EQ(after_flush->data(), expected->data());
+}
+
+// ---------------------------------------------------------------------------
+// Buffered access history: Record() is off the hit path; the tracker lags
+// until a drain and then matches eager recording exactly.
+
+TEST(ServeSessionTest, AccessHistoryBuffersAndDrainsToEagerState) {
+  auto shape_result = CubeShape::Make({4, 4});
+  ASSERT_TRUE(shape_result.ok());
+  const CubeShape shape = *shape_result;
+  Rng rng(18);
+  auto cube = UniformIntegerCube(shape, &rng, 0, 9);
+  ASSERT_TRUE(cube.ok());
+  auto session = OlapSession::FromCube(shape, *cube, CachedOptions());
+  ASSERT_TRUE(session.ok());
+
+  const std::vector<uint32_t> masks = {3, 3, 1, 2, 3, 1, 3, 3, 2, 3};
+  for (const uint32_t mask : masks) {
+    ASSERT_TRUE((*session)->ViewByMask(mask).ok());
+  }
+  // The hit path buffered the records instead of touching the tracker.
+  EXPECT_EQ((*session)->buffered_accesses(), masks.size());
+  EXPECT_EQ((*session)->access_tracker().total_accesses(), 0u);
+
+  (*session)->DrainAccessHistory();
+  EXPECT_EQ((*session)->buffered_accesses(), 0u);
+  EXPECT_EQ((*session)->access_tracker().total_accesses(), masks.size());
+
+  // Drained state is identical to eager recording of the same sequence
+  // (single-threaded: one stripe, order preserved).
+  AccessTracker eager(OlapSessionOptions{}.access_decay);
+  for (const uint32_t mask : masks) {
+    auto id = ElementId::AggregatedView(mask, shape);
+    ASSERT_TRUE(id.ok());
+    eager.Record(*id);
+  }
+  const auto drained_dist = (*session)->access_tracker().Distribution();
+  const auto eager_dist = eager.Distribution();
+  ASSERT_EQ(drained_dist.size(), eager_dist.size());
+  for (size_t i = 0; i < drained_dist.size(); ++i) {
+    EXPECT_EQ(drained_dist[i].first, eager_dist[i].first);
+    EXPECT_DOUBLE_EQ(drained_dist[i].second, eager_dist[i].second);
+  }
+
+  // Optimize() drains implicitly: observed traffic is complete without an
+  // explicit drain call.
+  for (const uint32_t mask : masks) {
+    ASSERT_TRUE((*session)->ViewByMask(mask).ok());
+  }
+  EXPECT_GT((*session)->buffered_accesses(), 0u);
+  ASSERT_TRUE((*session)->Optimize().ok());
+  EXPECT_EQ((*session)->buffered_accesses(), 0u);
+  EXPECT_EQ((*session)->access_tracker().total_accesses(), 2 * masks.size());
 }
 
 }  // namespace

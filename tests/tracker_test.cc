@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 namespace vecube {
 namespace {
 
@@ -155,6 +157,77 @@ TEST(TrackerTest, ResetClears) {
   tracker.Reset();
   EXPECT_TRUE(tracker.Distribution().empty());
   EXPECT_EQ(tracker.total_accesses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferedAccessLog: the write-behind front keeping Record() off the
+// serving hit path. Nothing may be lost, and with decay == 1.0 the
+// drained sink is bit-identical to eager recording (counting is
+// order-independent).
+
+TEST(TrackerBufferTest, DrainedStateMatchesEagerExactly) {
+  const std::vector<ElementId> ids = DistinctIds(16);
+  AccessTracker eager(1.0);
+  AccessTracker sink(1.0);
+  BufferedAccessLog log(&sink);
+
+  for (int round = 0; round < 40; ++round) {
+    const ElementId& id = ids[static_cast<size_t>(round * 7 % 16)];
+    eager.Record(id);
+    log.Record(id);
+  }
+  // Below the batch size: the sink has seen nothing yet.
+  EXPECT_EQ(log.buffered(), 40u);
+  EXPECT_EQ(sink.total_accesses(), 0u);
+
+  log.Drain();
+  EXPECT_EQ(log.buffered(), 0u);
+  EXPECT_EQ(sink.total_accesses(), eager.total_accesses());
+  const auto drained = sink.Distribution();
+  const auto reference = eager.Distribution();
+  ASSERT_EQ(drained.size(), reference.size());
+  for (size_t i = 0; i < drained.size(); ++i) {
+    EXPECT_EQ(drained[i].first, reference[i].first);
+    EXPECT_DOUBLE_EQ(drained[i].second, reference[i].second);
+  }
+}
+
+TEST(TrackerBufferTest, FullBatchAppliesWithoutExplicitDrain) {
+  const std::vector<ElementId> ids = DistinctIds(4);
+  AccessTracker sink(1.0);
+  BufferedAccessLog log(&sink, /*batch_size=*/8);
+  // A single thread maps to one stripe, so the 8th record flushes it.
+  for (int i = 0; i < 8; ++i) log.Record(ids[static_cast<size_t>(i % 4)]);
+  EXPECT_EQ(log.buffered(), 0u);
+  EXPECT_EQ(sink.total_accesses(), 8u);
+}
+
+TEST(TrackerBufferTest, ConcurrentRecordersLoseNothing) {
+  const std::vector<ElementId> ids = DistinctIds(32);
+  AccessTracker sink(1.0);
+  BufferedAccessLog log(&sink, /*batch_size=*/16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(ids[static_cast<size_t>((t * kPerThread + i) % 32)]);
+      }
+    });
+  }
+  for (std::thread& recorder : recorders) recorder.join();
+  log.Drain();
+  EXPECT_EQ(log.buffered(), 0u);
+  EXPECT_EQ(sink.total_accesses(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Every id got an equal share; decay 1.0 counting is order-independent,
+  // so the distribution is exact regardless of interleaving.
+  for (const auto& [id, freq] : sink.Distribution()) {
+    EXPECT_DOUBLE_EQ(freq, 1.0 / 32.0);
+  }
 }
 
 }  // namespace
