@@ -167,10 +167,10 @@ Status OlapSession::InitDurability() {
   // durable state is OpenDurable()'s job.
   const std::string wal_path = JoinPath(d.directory, kWalFile);
   RemoveFileIfExists(wal_path);
-  Result<WriteAheadLog> wal =
+  Result<std::unique_ptr<WriteAheadLog>> wal =
       WriteAheadLog::Open(wal_path, shape_, nullptr, d.sync_each_append);
   VECUBE_RETURN_NOT_OK(wal.status());
-  wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+  wal_ = std::move(wal).value();
   return Checkpoint();
 }
 
@@ -328,7 +328,7 @@ Result<std::unique_ptr<OlapSession>> OlapSession::OpenDurable(
     max_seq = std::max({max_seq, count_store_seq, count_cube_seq});
   }
   WalScan scan;
-  Result<WriteAheadLog> wal = WriteAheadLog::Open(
+  Result<std::unique_ptr<WriteAheadLog>> wal = WriteAheadLog::Open(
       JoinPath(d.directory, kWalFile), shape, &scan, d.sync_each_append,
       /*create_base_lsn=*/max_seq + 1);
   VECUBE_RETURN_NOT_OK(wal.status());
@@ -337,9 +337,9 @@ Result<std::unique_ptr<OlapSession>> OlapSession::OpenDurable(
         "WAL gap: log starts at lsn " + std::to_string(scan.base_lsn) +
         " but a snapshot has only folded in lsn " + std::to_string(min_seq));
   }
-  if (wal->last_lsn() < max_seq) {
+  if ((*wal)->last_lsn() < max_seq) {
     return Status::Internal(
-        "WAL ends at lsn " + std::to_string(wal->last_lsn()) +
+        "WAL ends at lsn " + std::to_string((*wal)->last_lsn()) +
         " but a snapshot claims lsn " + std::to_string(max_seq) +
         " was logged; the log was replaced or rolled back");
   }
@@ -364,7 +364,7 @@ Result<std::unique_ptr<OlapSession>> OlapSession::OpenDurable(
     }
     ++session->stats_.wal_replayed;
   }
-  session->wal_ = std::make_unique<WriteAheadLog>(std::move(wal).value());
+  session->wal_ = std::move(wal).value();
   // Replayed deltas staled any answers cached before the crash; the cache
   // is in-memory only, but flush defensively in case construction warmed it.
   if (session->cache_ != nullptr) session->cache_->InvalidateAll();

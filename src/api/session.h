@@ -11,6 +11,18 @@
 //   session->Optimize();                    // select + materialize
 //   auto view = session->ViewByMask(0b101);
 //   auto sum  = session->RangeSum(range);
+//
+// Thread safety (DESIGN.md §12): an OlapSession is a single-caller
+// object — queries, updates, Optimize(), and Checkpoint() must not run
+// concurrently. The planner memo tables and SessionStats are
+// deliberately unsynchronized: planning is serial by contract, and
+// concurrent serving is built by sharing the internally synchronized
+// components (ViewCache, ScratchArena, BufferedAccessLog, WriteAheadLog,
+// EpochDomain) across one AssemblyEngine per worker, not by hammering
+// one session from many threads. Of the accessors, serve_metrics(),
+// buffered_accesses(), and last_lsn() are safe to call from a monitoring
+// thread while the owner is querying; stats(), access_tracker(), store()
+// and cube() are not (they return references into unsynchronized state).
 
 #ifndef VECUBE_API_SESSION_H_
 #define VECUBE_API_SESSION_H_

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "haar/fused.h"
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -48,14 +47,16 @@ std::vector<CascadeStep> DescentSteps(const ElementId& source,
 // shared_ptr so the map can grow while other threads hold their entry.
 struct AssemblyEngine::BatchCache {
   struct Entry {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool ready = false;
-    Status status;  // non-OK when the owning computation failed
-    Tensor tensor;
+    Mutex mu;
+    CondVar cv;
+    bool ready VECUBE_GUARDED_BY(mu) = false;
+    // non-OK when the owning computation failed
+    Status status VECUBE_GUARDED_BY(mu);
+    Tensor tensor VECUBE_GUARDED_BY(mu);
   };
-  std::mutex mu;
-  std::unordered_map<uint64_t, std::shared_ptr<Entry>> map;
+  Mutex mu;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> map
+      VECUBE_GUARDED_BY(mu);
 };
 
 AssemblyEngine::AssemblyEngine(const ElementStore* store, ThreadPool* pool,
@@ -258,7 +259,7 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
   std::shared_ptr<BatchCache::Entry> entry;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(cache->mu);
+    MutexLock lock(cache->mu);
     auto [it, inserted] = cache->map.try_emplace(target_index, nullptr);
     if (inserted) {
       it->second = std::make_shared<BatchCache::Entry>();
@@ -269,8 +270,8 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
   if (!owner) {
     // Another thread owns this node. Waits follow child edges of the plan
     // DAG only, and owners are always running threads, so this terminates.
-    std::unique_lock<std::mutex> lock(entry->mu);
-    entry->cv.wait(lock, [&entry] { return entry->ready; });
+    MutexLock lock(entry->mu);
+    while (!entry->ready) entry->cv.Wait(entry->mu);
     if (!entry->status.ok()) return entry->status;
     return entry->tensor;
   }
@@ -311,10 +312,12 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
     return Status::Incomplete("stored element set cannot reconstruct " +
                               target.ToString());
   }();
+  // order: relaxed — pure op accounting; the total is read only after
+  // ParallelFor's completion barrier has ordered all chunk writes.
   adds->fetch_add(local.adds, std::memory_order_relaxed);
 
   {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(entry->mu);
     if (result.ok()) {
       entry->tensor = *result;
     } else {
@@ -322,7 +325,7 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
     }
     entry->ready = true;
   }
-  entry->cv.notify_all();
+  entry->cv.NotifyAll();
   return result;
 }
 
@@ -382,6 +385,8 @@ Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
     if (!results[i]->ok()) return results[i]->status();
     out.push_back(std::move(**results[i]));
   }
+  // order: relaxed — every contributor finished inside ParallelFor's
+  // acq_rel completion barrier, which ordered their fetch_adds here.
   if (ops != nullptr) ops->adds += adds.load(std::memory_order_relaxed);
   return out;
 }

@@ -85,7 +85,7 @@ void BufferedAccessLog::Record(const ElementId& id) {
   Stripe& stripe = StripeForThisThread();
   std::vector<ElementId> batch;
   {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     stripe.pending.push_back(id);
     if (stripe.pending.size() < batch_size_) return;
     batch.swap(stripe.pending);
@@ -98,7 +98,7 @@ void BufferedAccessLog::Drain() {
   for (Stripe& stripe : stripes_) {
     std::vector<ElementId> batch;
     {
-      std::lock_guard<std::mutex> lock(stripe.mu);
+      MutexLock lock(stripe.mu);
       batch.swap(stripe.pending);
     }
     if (!batch.empty()) ApplyToSink(batch);
@@ -108,14 +108,14 @@ void BufferedAccessLog::Drain() {
 size_t BufferedAccessLog::buffered() const {
   size_t total = 0;
   for (const Stripe& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    MutexLock lock(stripe.mu);
     total += stripe.pending.size();
   }
   return total;
 }
 
 void BufferedAccessLog::ApplyToSink(const std::vector<ElementId>& records) {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  MutexLock lock(sink_mu_);
   for (const ElementId& id : records) sink_->Record(id);
 }
 

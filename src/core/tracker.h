@@ -27,12 +27,12 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/element_id.h"
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -126,17 +126,18 @@ class BufferedAccessLog {
   // Stripes are cache-line separated so concurrent recorders on
   // different stripes never false-share.
   struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::vector<ElementId> pending;
+    mutable Mutex mu;
+    std::vector<ElementId> pending VECUBE_GUARDED_BY(mu);
   };
   static constexpr size_t kStripes = 16;
 
   Stripe& StripeForThisThread();
-  void ApplyToSink(const std::vector<ElementId>& records);
+  void ApplyToSink(const std::vector<ElementId>& records)
+      VECUBE_EXCLUDES(sink_mu_);
 
-  AccessTracker* sink_;
-  size_t batch_size_;
-  std::mutex sink_mu_;  ///< serializes batch application to the sink
+  AccessTracker* const sink_ VECUBE_PT_GUARDED_BY(sink_mu_);
+  const size_t batch_size_;
+  Mutex sink_mu_;  ///< serializes batch application to the sink
   std::array<Stripe, kStripes> stripes_;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/crc32c.h"
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -181,11 +182,9 @@ Result<WalScan> WriteAheadLog::Scan(const std::string& path,
   return scan;
 }
 
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
-                                          const CubeShape& shape,
-                                          WalScan* scan_out,
-                                          bool sync_each_append,
-                                          uint64_t create_base_lsn) {
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, const CubeShape& shape, WalScan* scan_out,
+    bool sync_each_append, uint64_t create_base_lsn) {
   WalScan scan;
   Result<WalScan> scanned = Scan(path, shape);
   if (scanned.ok()) {
@@ -199,24 +198,30 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
     return scanned.status();
   }
 
-  WriteAheadLog log;
-  log.path_ = path;
-  log.shape_ = shape;
-  log.sync_each_append_ = sync_each_append;
-  log.next_lsn_ = scan.base_lsn + scan.records.size();
-  log.records_in_log_ = scan.records.size();
-  VECUBE_ASSIGN_OR_RETURN(log.file_,
+  // make_unique cannot reach the private constructor.
+  std::unique_ptr<WriteAheadLog> log(
+      new WriteAheadLog());  // vecube-lint: disable=no-naked-new
+  log->path_ = path;
+  log->shape_ = shape;
+  log->sync_each_append_ = sync_each_append;
+  // The object is not yet shared, but initializing its guarded fields
+  // under the lock keeps the annotated contract unconditional.
+  MutexLock lock(log->mu_);
+  log->next_lsn_ = scan.base_lsn + scan.records.size();
+  log->records_in_log_ = scan.records.size();
+  VECUBE_ASSIGN_OR_RETURN(log->file_,
                           WritableFile::OpenForAppend(path, "wal.append"));
-  if (log.file_.offset() != scan.committed_bytes) {
+  if (log->file_.offset() != scan.committed_bytes) {
     // Torn tail (or garbage after the committed prefix): cut it away so
     // the next append starts on a record boundary.
-    VECUBE_RETURN_NOT_OK(log.file_.TruncateTo(scan.committed_bytes));
+    VECUBE_RETURN_NOT_OK(log->file_.TruncateTo(scan.committed_bytes));
   }
   if (scan_out != nullptr) *scan_out = std::move(scan);
   return log;
 }
 
 Result<uint64_t> WriteAheadLog::Append(const CellDelta& delta) {
+  MutexLock lock(mu_);
   if (broken_) {
     return Status::FailedPrecondition(
         "WAL " + path_ + " is broken (failed rollback of a torn append)");
@@ -251,6 +256,7 @@ Result<uint64_t> WriteAheadLog::Append(const CellDelta& delta) {
 }
 
 Status WriteAheadLog::Reset() {
+  MutexLock lock(mu_);
   if (!file_.is_open() && !broken_) {
     return Status::FailedPrecondition("WAL " + path_ + " is not open");
   }
@@ -274,6 +280,16 @@ Status WriteAheadLog::Reset() {
   records_in_log_ = 0;
   broken_ = false;
   return Status::OK();
+}
+
+uint64_t WriteAheadLog::last_lsn() const {
+  MutexLock lock(mu_);
+  return next_lsn_ - 1;
+}
+
+uint64_t WriteAheadLog::records_in_log() const {
+  MutexLock lock(mu_);
+  return records_in_log_;
 }
 
 }  // namespace vecube

@@ -31,11 +31,17 @@
 //
 // Failpoints: "wal.append", "wal.append.sync", "wal.reset",
 // "wal.reset.sync", "wal.reset.rename".
+//
+// Thread safety: Append/Reset/last_lsn/records_in_log are internally
+// serialized on one mutex, so concurrent writers get unique lsns and a
+// torn-append rollback can never interleave with another append. The
+// log is non-movable (the mutex pins it); Open hands out a unique_ptr.
 
 #ifndef VECUBE_CORE_WAL_H_
 #define VECUBE_CORE_WAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +49,7 @@
 #include "cube/shape.h"
 #include "util/io_file.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -73,42 +80,45 @@ class WriteAheadLog {
   /// Pass create_base_lsn = snapshot wal_seq + 1 when recovering, so a
   /// lost log file cannot restart the lsn sequence below what snapshots
   /// have already folded in (which would make future replays skip records).
-  static Result<WriteAheadLog> Open(const std::string& path,
-                                    const CubeShape& shape,
-                                    WalScan* scan_out = nullptr,
-                                    bool sync_each_append = true,
-                                    uint64_t create_base_lsn = 1);
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, const CubeShape& shape,
+      WalScan* scan_out = nullptr, bool sync_each_append = true,
+      uint64_t create_base_lsn = 1);
 
-  WriteAheadLog(WriteAheadLog&&) = default;
-  WriteAheadLog& operator=(WriteAheadLog&&) = default;
+  // Non-movable: the internal mutex pins the object, and a move racing a
+  // concurrent Append would tear the file handle.
+  WriteAheadLog(WriteAheadLog&&) = delete;
+  WriteAheadLog& operator=(WriteAheadLog&&) = delete;
 
   /// Appends (and by default fsyncs) one record, assigning the next lsn.
   /// On failure the file is rolled back to the previous committed length,
   /// so a later append cannot land after torn bytes; if even the rollback
   /// fails the log is marked broken and every later append fails fast.
-  Result<uint64_t> Append(const CellDelta& delta);
+  Result<uint64_t> Append(const CellDelta& delta) VECUBE_EXCLUDES(mu_);
 
   /// Checkpoint truncation: atomically replaces the log with an empty one
   /// whose base_lsn continues the sequence. Call only after a snapshot
   /// with wal_seq >= last_lsn() has been durably renamed into place.
-  Status Reset();
+  Status Reset() VECUBE_EXCLUDES(mu_);
 
   /// Lsn of the most recently appended (or scanned) record; base_lsn - 1
   /// when the log is empty.
-  [[nodiscard]] uint64_t last_lsn() const { return next_lsn_ - 1; }
-  [[nodiscard]] uint64_t records_in_log() const { return records_in_log_; }
+  [[nodiscard]] uint64_t last_lsn() const VECUBE_EXCLUDES(mu_);
+  [[nodiscard]] uint64_t records_in_log() const VECUBE_EXCLUDES(mu_);
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   WriteAheadLog() = default;
 
+  // path_ / shape_ / sync_each_append_ are immutable after Open().
   std::string path_;
   CubeShape shape_;
-  WritableFile file_;
-  uint64_t next_lsn_ = 1;
-  uint64_t records_in_log_ = 0;
   bool sync_each_append_ = true;
-  bool broken_ = false;
+  mutable Mutex mu_;
+  WritableFile file_ VECUBE_GUARDED_BY(mu_);
+  uint64_t next_lsn_ VECUBE_GUARDED_BY(mu_) = 1;
+  uint64_t records_in_log_ VECUBE_GUARDED_BY(mu_) = 0;
+  bool broken_ VECUBE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vecube

@@ -15,10 +15,14 @@ std::atomic<uint64_t> g_fused_budget_cells{kDefaultFusedBudgetCells};
 }  // namespace
 
 uint64_t FusedBudgetCells() {
+  // order: relaxed — a standalone tuning knob; no data is published
+  // through it, and any torn-epoch read would still be a valid budget.
   return g_fused_budget_cells.load(std::memory_order_relaxed);
 }
 
 void SetFusedBudgetForTesting(uint64_t cells) {
+  // order: relaxed — test-only knob, set before kernels run; readers
+  // only need atomicity, not ordering.
   g_fused_budget_cells.store(cells == 0 ? kDefaultFusedBudgetCells : cells,
                              std::memory_order_relaxed);
 }

@@ -18,7 +18,7 @@ ScratchArena::ScratchArena(uint64_t max_pooled_bytes)
     : max_pooled_bytes_(max_pooled_bytes) {}
 
 ScratchArena::~ScratchArena() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   VECUBE_CHECK(live_.empty())
       << "ScratchArena destroyed with " << live_.size()
       << " buffer(s) still outstanding";
@@ -27,7 +27,7 @@ ScratchArena::~ScratchArena() {
 ScratchArena::Buffer ScratchArena::Acquire(uint64_t cells) {
   TensorBuffer storage;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Best fit: the smallest pooled allocation that already holds `cells`.
     size_t best = pool_.size();
     for (size_t i = 0; i < pool_.size(); ++i) {
@@ -47,7 +47,7 @@ ScratchArena::Buffer ScratchArena::Acquire(uint64_t cells) {
   }
   storage.resize(cells);  // no-op construction: cells stay uninitialized
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (storage.data() != nullptr) {
     const auto [it, inserted] = live_.emplace(storage.data(), cells);
     (void)it;
@@ -57,7 +57,7 @@ ScratchArena::Buffer ScratchArena::Acquire(uint64_t cells) {
 }
 
 void ScratchArena::Return(TensorBuffer storage) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (storage.data() != nullptr) {
     VECUBE_CHECK(live_.erase(storage.data()) == 1)
         << "ScratchArena::Return of a buffer it does not track";
@@ -71,28 +71,28 @@ void ScratchArena::Return(TensorBuffer storage) {
 }
 
 uint64_t ScratchArena::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return live_.size();
 }
 
 uint64_t ScratchArena::pooled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pool_.size();
 }
 
 uint64_t ScratchArena::pooled_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pooled_bytes_;
 }
 
 uint64_t ScratchArena::reuse_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reuse_count_;
 }
 
 bool ScratchArena::DisjointFromOutstanding(const double* ptr,
                                            uint64_t cells) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto lo = reinterpret_cast<uintptr_t>(ptr);
   const uintptr_t hi = lo + cells * sizeof(double);
   for (const auto& [base, live_cells] : live_) {

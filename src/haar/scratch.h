@@ -24,11 +24,11 @@
 #define VECUBE_HAAR_SCRATCH_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "cube/tensor.h"
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -82,34 +82,36 @@ class ScratchArena {
   /// An exclusively owned buffer of exactly `cells` uninitialized doubles
   /// (64-byte aligned). Reuses a pooled allocation when one is large
   /// enough (best fit); allocates otherwise.
-  Buffer Acquire(uint64_t cells);
+  Buffer Acquire(uint64_t cells) VECUBE_EXCLUDES(mu_);
 
   /// Buffers currently handed out.
-  [[nodiscard]] uint64_t outstanding() const;
+  [[nodiscard]] uint64_t outstanding() const VECUBE_EXCLUDES(mu_);
   /// Idle buffers in the pool.
-  [[nodiscard]] uint64_t pooled() const;
+  [[nodiscard]] uint64_t pooled() const VECUBE_EXCLUDES(mu_);
   /// Payload bytes currently idle in the pool.
-  [[nodiscard]] uint64_t pooled_bytes() const;
+  [[nodiscard]] uint64_t pooled_bytes() const VECUBE_EXCLUDES(mu_);
   /// Acquisitions served from the pool (vs fresh allocations).
-  [[nodiscard]] uint64_t reuse_count() const;
+  [[nodiscard]] uint64_t reuse_count() const VECUBE_EXCLUDES(mu_);
 
   /// Aliasing invariant: true iff [ptr, ptr + cells) overlaps no
   /// outstanding hand-out. Live tensors are allocated outside the arena,
   /// so this plus hand-out exclusivity is the full no-aliasing story.
   [[nodiscard]] bool DisjointFromOutstanding(const double* ptr,
-                                             uint64_t cells) const;
+                                             uint64_t cells) const
+      VECUBE_EXCLUDES(mu_);
 
  private:
   friend class Buffer;
 
-  void Return(TensorBuffer storage);
+  void Return(TensorBuffer storage) VECUBE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<TensorBuffer> pool_;
-  std::unordered_map<const double*, uint64_t> live_;  // base -> cells
-  uint64_t max_pooled_bytes_;
-  uint64_t pooled_bytes_ = 0;
-  uint64_t reuse_count_ = 0;
+  mutable Mutex mu_;
+  std::vector<TensorBuffer> pool_ VECUBE_GUARDED_BY(mu_);
+  // base -> cells
+  std::unordered_map<const double*, uint64_t> live_ VECUBE_GUARDED_BY(mu_);
+  const uint64_t max_pooled_bytes_;
+  uint64_t pooled_bytes_ VECUBE_GUARDED_BY(mu_) = 0;
+  uint64_t reuse_count_ VECUBE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vecube

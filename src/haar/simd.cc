@@ -88,11 +88,17 @@ std::atomic<const HaarVecOps*> g_ops{nullptr};
 }  // namespace
 
 const HaarVecOps& VecOps() {
+  // order: acquire — pairs with the release side of the CAS below so a
+  // thread that observes the published pointer also sees the selected
+  // ops table fully initialized.
   const HaarVecOps* ops = g_ops.load(std::memory_order_acquire);
   if (ops == nullptr) {
     ops = SelectAtStartup();
     const HaarVecOps* expected = nullptr;
     // First selector wins; the selection is deterministic anyway.
+    // order: acq_rel — release publishes the selected table; acquire on
+    // the failure path makes the winner's table visible through
+    // `expected` before we dereference it.
     if (!g_ops.compare_exchange_strong(expected, ops,
                                        std::memory_order_acq_rel)) {
       ops = expected;
@@ -113,6 +119,8 @@ bool ParseDisableAvx2(const char* value) {
 }
 
 void OverrideVecOpsForTesting(const HaarVecOps* ops) {
+  // order: release — publishes the override table to subsequent VecOps()
+  // acquire loads; tests install overrides before spawning readers.
   g_ops.store(ops, std::memory_order_release);
 }
 

@@ -33,14 +33,17 @@ struct ViewCache::Table {
 
 // One in-flight assembly, shared by its leader and all coalesced
 // followers. `m`/`cv` are local to the flight — waiting followers never
-// touch the shard lock until the result is ready.
+// touch the shard lock until the result is ready. Lock order: a thread
+// never holds `m` and a Shard::mu at once (completion writes the result
+// after dropping the shard lock), so flight locks sit outside the shard
+// tier of the hierarchy (DESIGN.md §12).
 struct ViewCache::Flight {
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  bool aborted = false;
-  std::shared_ptr<const Tensor> result;
-  uint64_t assembly_cost = 0;
+  Mutex m;
+  CondVar cv;
+  bool done VECUBE_GUARDED_BY(m) = false;
+  bool aborted VECUBE_GUARDED_BY(m) = false;
+  std::shared_ptr<const Tensor> result VECUBE_GUARDED_BY(m);
+  uint64_t assembly_cost VECUBE_GUARDED_BY(m) = 0;
 };
 
 struct ViewCache::Shard {
@@ -55,28 +58,29 @@ struct ViewCache::Shard {
     std::vector<std::shared_ptr<Entry>> dying;
   };
 
-  mutable std::mutex mu;
+  mutable Mutex mu;
   /// The published resident set. Readers: acquire-load under an epoch
-  /// pin. Writers: replaced only via PublishLocked while holding mu.
+  /// pin (lock-free, so not VECUBE_GUARDED_BY). Writers: replaced only
+  /// via PublishLocked while holding mu.
   std::atomic<const Table*> live{nullptr};
   /// Misses are recorded on the (lock-free) read path.
   std::atomic<uint64_t> misses{0};
 
-  // Everything below is guarded by mu.
-  uint64_t generation = 0;   ///< write generation, drives heat decay
-  uint64_t flush_epoch = 0;  ///< bumped by InvalidateAll; stales fills
-  uint64_t folded_hits = 0;
-  uint64_t coalesced_hits = 0;
-  uint64_t insertions = 0;
-  uint64_t rejected_inserts = 0;
-  uint64_t stale_fills = 0;
-  uint64_t evictions = 0;
-  uint64_t invalidations = 0;
-  uint64_t folded_ops_saved = 0;
-  uint64_t ops_executed = 0;
+  uint64_t generation VECUBE_GUARDED_BY(mu) = 0;   ///< write generation
+  /// Bumped by InvalidateAll; stales in-flight fills.
+  uint64_t flush_epoch VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t folded_hits VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t coalesced_hits VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t insertions VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t rejected_inserts VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t stale_fills VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t evictions VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t invalidations VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t folded_ops_saved VECUBE_GUARDED_BY(mu) = 0;
+  uint64_t ops_executed VECUBE_GUARDED_BY(mu) = 0;
   std::unordered_map<ElementId, std::shared_ptr<Flight>, ElementIdHash>
-      flights;
-  std::deque<Limbo> limbo;  ///< retire-tag ascending
+      flights VECUBE_GUARDED_BY(mu);
+  std::deque<Limbo> limbo VECUBE_GUARDED_BY(mu);  ///< retire-tag ascending
 };
 
 ViewCache::ViewCache(ViewCacheOptions options) : options_(options) {
@@ -89,6 +93,7 @@ ViewCache::ViewCache(ViewCacheOptions options) : options_(options) {
   for (uint32_t s = 0; s < options_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
     auto table = std::make_unique<Table>();
+    // order: relaxed — construction; no other thread can see the cache.
     shard->live.store(table.release(), std::memory_order_relaxed);
     shards_.push_back(std::move(shard));
   }
@@ -98,6 +103,7 @@ ViewCache::~ViewCache() {
   // Precondition (as for any destructor): no concurrent calls. The limbo
   // lists clean themselves up; the published tables are reclaimed here.
   for (auto& shard : shards_) {
+    // order: relaxed — destruction precondition is no concurrent calls.
     std::unique_ptr<const Table> live(
         shard->live.exchange(nullptr, std::memory_order_relaxed));
   }
@@ -112,13 +118,21 @@ ViewCache::ReadHandle ViewCache::FindPinned(
     std::shared_ptr<const Tensor>* out_shared) {
   Shard& shard = ShardFor(id);
   EpochDomain::Pin pin = EpochDomain::Acquire();
+  // order: acquire — pairs with the seq_cst publish in PublishLocked so
+  // the table's contents (map nodes, entries, tensors) are visible; the
+  // pin taken above keeps the loaded version out of reclamation.
   const Table* table = shard.live.load(std::memory_order_acquire);
   auto it = table->map.find(id);
   if (it == table->map.end()) {
+    // order: relaxed — statistics counter; read under shard.mu only by
+    // Metrics(), which tolerates a racing increment either side.
     if (count_miss) shard.misses.fetch_add(1, std::memory_order_relaxed);
     return ReadHandle();
   }
   Entry* entry = it->second.get();
+  // order: relaxed — pure event count; folded under shard.mu (or at
+  // reclaim, after the epoch proves no reader can still bump it), so no
+  // other data is published through this counter.
   entry->pending_hits.fetch_add(1, std::memory_order_relaxed);
   if (out_shared != nullptr) *out_shared = entry->data;
   return ReadHandle(std::move(pin), entry->data.get());
@@ -142,15 +156,18 @@ ViewCache::LookupOutcome ViewCache::LookupOrBegin(const ElementId& id) {
   if (out.hit) return out;
 
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   // Re-probe under the lock: a fill may have landed since the lock-free
   // probe. The table cannot be retired while mu is held, and the pin is
   // taken before mu is released, so the handle stays valid afterwards.
+  // order: acquire — same publish pairing as FindPinned (mu alone would
+  // suffice, since publishers store under mu; acquire keeps it uniform).
   const Table* table = shard.live.load(std::memory_order_acquire);
   auto it = table->map.find(id);
   if (it != table->map.end()) {
     EpochDomain::Pin pin = EpochDomain::Acquire();
     Entry* entry = it->second.get();
+    // order: relaxed — same event-count contract as in FindPinned.
     entry->pending_hits.fetch_add(1, std::memory_order_relaxed);
     out.hit = ReadHandle(std::move(pin), entry->data.get());
     return out;
@@ -164,6 +181,7 @@ ViewCache::LookupOutcome ViewCache::LookupOrBegin(const ElementId& id) {
   }
   auto flight = std::make_shared<Flight>();
   shard.flights.emplace(id, flight);
+  // order: relaxed — statistics counter, as in FindPinned.
   shard.misses.fetch_add(1, std::memory_order_relaxed);
   out.fill.flight_ = std::move(flight);
   out.fill.id_ = id;
@@ -179,7 +197,7 @@ std::shared_ptr<const Tensor> ViewCache::CompleteFill(
   Shard& shard = ShardFor(ticket.id_);
   std::shared_ptr<const Tensor> served = shared;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.ops_executed += assembly_cost;
     auto fit = shard.flights.find(ticket.id_);
     if (fit != shard.flights.end() && fit->second == ticket.flight_) {
@@ -196,12 +214,12 @@ std::shared_ptr<const Tensor> ViewCache::CompleteFill(
     }
   }
   {
-    std::lock_guard<std::mutex> flight_lock(ticket.flight_->m);
+    MutexLock flight_lock(ticket.flight_->m);
     ticket.flight_->result = served;
     ticket.flight_->assembly_cost = assembly_cost;
     ticket.flight_->done = true;
   }
-  ticket.flight_->cv.notify_all();
+  ticket.flight_->cv.NotifyAll();
   return served;
 }
 
@@ -209,18 +227,18 @@ void ViewCache::AbortFill(FillTicket ticket) {
   if (!ticket.valid() || !ticket.leader()) return;
   Shard& shard = ShardFor(ticket.id_);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto fit = shard.flights.find(ticket.id_);
     if (fit != shard.flights.end() && fit->second == ticket.flight_) {
       shard.flights.erase(fit);
     }
   }
   {
-    std::lock_guard<std::mutex> flight_lock(ticket.flight_->m);
+    MutexLock flight_lock(ticket.flight_->m);
     ticket.flight_->aborted = true;
     ticket.flight_->done = true;
   }
-  ticket.flight_->cv.notify_all();
+  ticket.flight_->cv.NotifyAll();
 }
 
 std::shared_ptr<const Tensor> ViewCache::WaitFill(const FillTicket& ticket) {
@@ -229,8 +247,8 @@ std::shared_ptr<const Tensor> ViewCache::WaitFill(const FillTicket& ticket) {
   std::shared_ptr<const Tensor> result;
   uint64_t cost = 0;
   {
-    std::unique_lock<std::mutex> flight_lock(flight.m);
-    flight.cv.wait(flight_lock, [&flight] { return flight.done; });
+    MutexLock flight_lock(flight.m);
+    while (!flight.done) flight.cv.Wait(flight.m);
     if (flight.aborted) return nullptr;
     result = flight.result;
     cost = flight.assembly_cost;
@@ -238,7 +256,7 @@ std::shared_ptr<const Tensor> ViewCache::WaitFill(const FillTicket& ticket) {
   // The coalesced query is a hit in every accounting sense: it spent no
   // assembly ops and saved its full rebuild cost.
   Shard& shard = ShardFor(ticket.id_);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.folded_hits;
   ++shard.coalesced_hits;
   shard.folded_ops_saved += cost;
@@ -250,7 +268,7 @@ std::shared_ptr<const Tensor> ViewCache::Insert(const ElementId& id,
                                                 uint64_t assembly_cost) {
   auto shared = std::make_shared<const Tensor>(std::move(data));
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   // The caller assembled this tensor whether or not it gets retained.
   shard.ops_executed += assembly_cost;
   return InsertLocked(&shard, id, std::move(shared), assembly_cost);
@@ -260,6 +278,8 @@ std::shared_ptr<const Tensor> ViewCache::InsertLocked(
     Shard* shard, const ElementId& id, std::shared_ptr<const Tensor> shared,
     uint64_t assembly_cost) {
   ++shard->generation;
+  // order: relaxed — we hold shard->mu, the only context that stores
+  // `live`; the load cannot race a publish.
   const Table* live = shard->live.load(std::memory_order_relaxed);
   auto it = live->map.find(id);
   if (it != live->map.end()) {
@@ -306,6 +326,9 @@ std::shared_ptr<const Tensor> ViewCache::InsertLocked(
 }
 
 void ViewCache::FoldEntryLocked(Shard* shard, Entry* entry) const {
+  // order: relaxed — drains the event counter; counts are self-contained
+  // (no payload is published through them) and the fold is serialized by
+  // shard->mu.
   const uint64_t pending =
       entry->pending_hits.exchange(0, std::memory_order_relaxed);
   if (options_.heat_decay < 1.0 && entry->folded_heat != 0.0) {
@@ -357,10 +380,13 @@ void ViewCache::EvictIntoLocked(Shard* shard, Table* next, uint64_t needed) {
 
 void ViewCache::PublishLocked(Shard* shard, std::unique_ptr<Table> next,
                               std::vector<std::shared_ptr<Entry>> removed) {
+  // order: relaxed — mu-serialized read of our own last publish.
   std::unique_ptr<const Table> old(
       shard->live.load(std::memory_order_relaxed));
-  // seq_cst so a reader whose pin confirms an epoch past our retire tag
-  // is guaranteed to load this replacement, never `old` (see epoch.h).
+  // order: seq_cst — must precede the Retire() advance in the single
+  // total order, so a reader whose pin confirms an epoch past our retire
+  // tag is guaranteed to load this replacement, never `old` (see
+  // epoch.h's announce-and-confirm proof).
   shard->live.store(next.release(), std::memory_order_seq_cst);
   const uint64_t tag = EpochDomain::Instance().Retire();
   shard->limbo.push_back(
@@ -376,6 +402,8 @@ void ViewCache::ReclaimLocked(Shard* shard) const {
     // No reader can reach these entries any more: fold their final hit
     // counts so ServeMetrics::hits stays exact across removals.
     for (const std::shared_ptr<Entry>& entry : rec.dying) {
+      // order: relaxed — MinPinned() proved no reader still holds the
+      // entry, so this drain cannot race a bump; counts are standalone.
       const uint64_t pending =
           entry->pending_hits.exchange(0, std::memory_order_relaxed);
       shard->folded_hits += pending;
@@ -387,7 +415,8 @@ void ViewCache::ReclaimLocked(Shard* shard) const {
 
 void ViewCache::Invalidate(const ElementId& id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
+  // order: relaxed — mu-serialized against every publish.
   const Table* live = shard.live.load(std::memory_order_relaxed);
   auto it = live->map.find(id);
   if (it == live->map.end()) return;
@@ -405,11 +434,12 @@ void ViewCache::Invalidate(const ElementId& id) {
 uint64_t ViewCache::InvalidateAll() {
   uint64_t dropped = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     // Stale any in-flight fill and orphan its flight: post-flush misses
     // on the same ids must start fresh assemblies against the new data.
     ++shard->flush_epoch;
     shard->flights.clear();
+    // order: relaxed — mu-serialized against every publish.
     const Table* live = shard->live.load(std::memory_order_relaxed);
     if (live->map.empty()) continue;
     ++shard->generation;
@@ -428,7 +458,9 @@ uint64_t ViewCache::InvalidateAll() {
 ServeMetrics ViewCache::Metrics() const {
   ServeMetrics metrics;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
+    // order: relaxed — point-in-time statistics snapshot; a racing
+    // increment lands in this read or the next, never lost.
     metrics.misses += shard->misses.load(std::memory_order_relaxed);
     metrics.hits += shard->folded_hits;
     metrics.coalesced_hits += shard->coalesced_hits;
@@ -439,6 +471,7 @@ ServeMetrics ViewCache::Metrics() const {
     metrics.invalidations += shard->invalidations;
     metrics.assembly_ops_saved += shard->folded_ops_saved;
     metrics.assembly_ops_executed += shard->ops_executed;
+    // order: relaxed — mu-serialized against every publish.
     const Table* live = shard->live.load(std::memory_order_relaxed);
     metrics.entries += live->map.size();
     metrics.bytes_resident += live->bytes;
@@ -447,6 +480,8 @@ ServeMetrics ViewCache::Metrics() const {
     // whenever the cache is quiescent (and a consistent snapshot
     // otherwise).
     for (const auto& [id, entry] : live->map) {
+      // order: relaxed — snapshot of an event counter; hits landing
+      // during the walk appear in the next snapshot.
       const uint64_t pending =
           entry->pending_hits.load(std::memory_order_relaxed);
       metrics.hits += pending;
@@ -454,6 +489,7 @@ ServeMetrics ViewCache::Metrics() const {
     }
     for (const Shard::Limbo& rec : shard->limbo) {
       for (const std::shared_ptr<Entry>& entry : rec.dying) {
+        // order: relaxed — same snapshot contract as the live-map walk.
         const uint64_t pending =
             entry->pending_hits.load(std::memory_order_relaxed);
         metrics.hits += pending;

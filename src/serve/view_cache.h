@@ -44,10 +44,8 @@
 #define VECUBE_SERVE_VIEW_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -55,6 +53,7 @@
 #include "core/element_id.h"
 #include "cube/tensor.h"
 #include "util/epoch.h"
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -265,29 +264,34 @@ class ViewCache {
   /// tensor to serve (the retained one on dedup). Caller holds shard.mu.
   std::shared_ptr<const Tensor> InsertLocked(
       Shard* shard, const ElementId& id,
-      std::shared_ptr<const Tensor> shared, uint64_t assembly_cost);
+      std::shared_ptr<const Tensor> shared, uint64_t assembly_cost)
+      VECUBE_REQUIRES(shard->mu);
   /// Folds an entry's pending lock-free hits into its decayed heat and
   /// the shard's persistent counters. Caller holds shard.mu.
-  void FoldEntryLocked(Shard* shard, Entry* entry) const;
+  void FoldEntryLocked(Shard* shard, Entry* entry) const
+      VECUBE_REQUIRES(shard->mu);
   /// Benefit score after folding: decayed heat * (1 + assembly cost).
   /// Caller holds shard.mu.
   [[nodiscard]] double ScoreLocked(const Shard& shard,
-                                   const Entry& entry) const;
+                                   const Entry& entry) const
+      VECUBE_REQUIRES(shard.mu);
   /// Builds `next` from the shard's live table minus enough minimum-
   /// score victims that `needed` more bytes fit. Caller holds shard.mu.
-  void EvictIntoLocked(Shard* shard, Table* next, uint64_t needed);
+  void EvictIntoLocked(Shard* shard, Table* next, uint64_t needed)
+      VECUBE_REQUIRES(shard->mu);
   /// Publishes `next` as the shard's live table and retires the previous
   /// one (plus `removed` entries) into the epoch limbo. Caller holds
   /// shard.mu.
   void PublishLocked(Shard* shard, std::unique_ptr<Table> next,
-                     std::vector<std::shared_ptr<Entry>> removed);
+                     std::vector<std::shared_ptr<Entry>> removed)
+      VECUBE_REQUIRES(shard->mu);
   /// Frees limbo tables/entries whose retire epoch has been vacated by
   /// every reader, folding the final hit counts of dying entries into
   /// the shard counters. Caller holds shard.mu.
-  void ReclaimLocked(Shard* shard) const;
+  void ReclaimLocked(Shard* shard) const VECUBE_REQUIRES(shard->mu);
 
-  ViewCacheOptions options_;
-  uint64_t shard_capacity_bytes_;
+  ViewCacheOptions options_;  ///< immutable after construction
+  uint64_t shard_capacity_bytes_;  ///< immutable after construction
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

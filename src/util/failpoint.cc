@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -15,10 +16,10 @@ struct Armed {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Armed> armed;
-  std::map<std::string, uint64_t> counts;
-  bool tracing = false;
+  Mutex mu;
+  std::map<std::string, Armed> armed VECUBE_GUARDED_BY(mu);
+  std::map<std::string, uint64_t> counts VECUBE_GUARDED_BY(mu);
+  bool tracing VECUBE_GUARDED_BY(mu) = false;
 };
 
 Registry& GetRegistry() {
@@ -26,8 +27,10 @@ Registry& GetRegistry() {
   return registry;
 }
 
-// Fast path: instrumented call sites pay one relaxed load when nothing is
-// armed and tracing is off.
+// Fast path: instrumented call sites pay one acquire load when nothing is
+// armed and tracing is off. g_active is a conservative hint: stores happen
+// only under registry.mu, and a stale 1 merely sends Hit() to the slow
+// path, where the mutex gives the authoritative answer.
 std::atomic<int> g_active{0};
 
 }  // namespace
@@ -35,32 +38,42 @@ std::atomic<int> g_active{0};
 void Failpoints::Arm(const std::string& name, FailpointAction action,
                      uint64_t skip) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   const bool fresh = registry.armed.emplace(name, Armed{action, skip}).second;
   if (!fresh) registry.armed[name] = Armed{action, skip};
+  // order: release — pairs with the acquire load in Hit(); a thread that
+  // observes 1 and takes the slow path sees this arming under the mutex.
   g_active.store(1, std::memory_order_release);
 }
 
 void Failpoints::Disarm(const std::string& name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.armed.erase(name);
   if (registry.armed.empty() && !registry.tracing) {
+    // order: release — keeps the store ordered after the erase above for
+    // slow-path readers; a racing fast path that still sees 1 is benign
+    // (it re-checks under the mutex).
     g_active.store(0, std::memory_order_release);
   }
 }
 
 void Failpoints::DisarmAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.armed.clear();
+  // order: release — same contract as Disarm: 0 may lag, never leads.
   if (!registry.tracing) g_active.store(0, std::memory_order_release);
 }
 
 std::optional<FailpointAction> Failpoints::Hit(const std::string& name) {
+  // order: acquire — pairs with the release stores in Arm/StartTrace so a
+  // reader that sees 1 also sees the arming once it takes registry.mu; a
+  // reader that sees a stale 0 misses at most an arming that raced this
+  // call, which tests serialize against anyway.
   if (g_active.load(std::memory_order_acquire) == 0) return std::nullopt;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   if (registry.tracing) ++registry.counts[name];
   auto it = registry.armed.find(name);
   if (it == registry.armed.end()) return std::nullopt;
@@ -71,6 +84,8 @@ std::optional<FailpointAction> Failpoints::Hit(const std::string& name) {
   const FailpointAction action = it->second.action;
   registry.armed.erase(it);  // one-shot
   if (registry.armed.empty() && !registry.tracing) {
+    // order: release — 0 may lag the erase; fast-path readers re-check
+    // under the mutex before trusting it.
     g_active.store(0, std::memory_order_release);
   }
   return action;
@@ -78,22 +93,24 @@ std::optional<FailpointAction> Failpoints::Hit(const std::string& name) {
 
 void Failpoints::StartTrace() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.tracing = true;
   registry.counts.clear();
+  // order: release — pairs with the acquire load in Hit(), as in Arm().
   g_active.store(1, std::memory_order_release);
 }
 
 void Failpoints::StopTrace() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.tracing = false;
+  // order: release — same lag-not-lead contract as Disarm.
   if (registry.armed.empty()) g_active.store(0, std::memory_order_release);
 }
 
 std::vector<std::pair<std::string, uint64_t>> Failpoints::TraceCounts() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   std::vector<std::pair<std::string, uint64_t>> out(registry.counts.begin(),
                                                     registry.counts.end());
   return out;

@@ -1,0 +1,173 @@
+// Annotated synchronization primitives: the only lock types allowed in
+// src/ (enforced by tools/vecube_check.py rule `naked-sync-primitives`).
+//
+// The wrappers carry Clang thread-safety capability annotations, so with
+// `-DVECUBE_THREAD_SAFETY=ON` (Clang only) the compiler proves, per
+// translation unit, that:
+//   * every field marked VECUBE_GUARDED_BY(mu) is touched only with `mu`
+//     held (and pointer targets via VECUBE_PT_GUARDED_BY);
+//   * every function marked VECUBE_REQUIRES(mu) is called only with `mu`
+//     held, and VECUBE_EXCLUDES(mu) only with it released (deadlock ban);
+//   * locks are released on every path (RAII types are the norm; the raw
+//     Lock/Unlock pair exists for the few adopt/split-scope cases).
+// On non-Clang compilers the annotations compile away and the wrappers
+// are zero-cost shims over the std primitives.
+//
+// Escape hatch: VECUBE_NO_THREAD_SAFETY_ANALYSIS disables the analysis
+// for one function. Every use must be listed (file + function + reason)
+// in tools/thread_safety_allowlist.txt; vecube_check fails otherwise.
+//
+// Lock hierarchy and per-component contracts: DESIGN.md §12.
+
+#ifndef VECUBE_UTIL_SYNC_H_
+#define VECUBE_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VECUBE_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef VECUBE_TS_ATTR
+#define VECUBE_TS_ATTR(x)  // compiles away outside Clang
+#endif
+
+#define VECUBE_CAPABILITY(x) VECUBE_TS_ATTR(capability(x))
+#define VECUBE_SCOPED_CAPABILITY VECUBE_TS_ATTR(scoped_lockable)
+#define VECUBE_GUARDED_BY(x) VECUBE_TS_ATTR(guarded_by(x))
+#define VECUBE_PT_GUARDED_BY(x) VECUBE_TS_ATTR(pt_guarded_by(x))
+#define VECUBE_REQUIRES(...) VECUBE_TS_ATTR(requires_capability(__VA_ARGS__))
+#define VECUBE_REQUIRES_SHARED(...) \
+  VECUBE_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+#define VECUBE_ACQUIRE(...) VECUBE_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define VECUBE_ACQUIRE_SHARED(...) \
+  VECUBE_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define VECUBE_RELEASE(...) VECUBE_TS_ATTR(release_capability(__VA_ARGS__))
+#define VECUBE_RELEASE_SHARED(...) \
+  VECUBE_TS_ATTR(release_shared_capability(__VA_ARGS__))
+#define VECUBE_TRY_ACQUIRE(...) \
+  VECUBE_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define VECUBE_EXCLUDES(...) VECUBE_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define VECUBE_ACQUIRED_BEFORE(...) VECUBE_TS_ATTR(acquired_before(__VA_ARGS__))
+#define VECUBE_ACQUIRED_AFTER(...) VECUBE_TS_ATTR(acquired_after(__VA_ARGS__))
+#define VECUBE_RETURN_CAPABILITY(x) VECUBE_TS_ATTR(lock_returned(x))
+#define VECUBE_ASSERT_CAPABILITY(x) VECUBE_TS_ATTR(assert_capability(x))
+#define VECUBE_NO_THREAD_SAFETY_ANALYSIS \
+  VECUBE_TS_ATTR(no_thread_safety_analysis)
+
+namespace vecube {
+
+class CondVar;
+
+/// Exclusive mutex. Prefer the RAII MutexLock; the raw Lock/Unlock pair
+/// exists for split-scope protocols (e.g. ViewCache flight hand-off).
+class VECUBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() VECUBE_ACQUIRE() { mu_.lock(); }
+  void Unlock() VECUBE_RELEASE() { mu_.unlock(); }
+  bool TryLock() VECUBE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex for read-mostly registries.
+class VECUBE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() VECUBE_ACQUIRE() { mu_.lock(); }
+  void Unlock() VECUBE_RELEASE() { mu_.unlock(); }
+  void LockShared() VECUBE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() VECUBE_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex.
+class VECUBE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VECUBE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() VECUBE_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive lock over a SharedMutex (writer side).
+class VECUBE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) VECUBE_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() VECUBE_RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared lock over a SharedMutex (reader side).
+class VECUBE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) VECUBE_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() VECUBE_RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to Mutex. Wait atomically releases and
+/// reacquires the mutex; the analysis models the caller as holding it
+/// throughout, which is sound for the guarded-field checks we rely on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) VECUBE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      VECUBE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_UTIL_SYNC_H_

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "util/sync.h"
+
 namespace vecube {
 
 namespace {
@@ -18,8 +20,8 @@ struct ForLoop {
   const std::function<void(uint64_t, uint64_t)>* fn = nullptr;
   std::atomic<uint64_t> next{0};
   std::atomic<uint64_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
 };
 
 // Claims and runs chunks until none remain. `fn` is only dereferenced for
@@ -28,15 +30,22 @@ struct ForLoop {
 // stays valid for every dereference.
 void RunChunks(ForLoop* loop) {
   for (;;) {
+    // order: relaxed — chunk claiming only needs atomicity (each index is
+    // claimed exactly once); the claimed data is partitioned by index, so
+    // no claimed-chunk data crosses threads via this counter.
     const uint64_t index = loop->next.fetch_add(1, std::memory_order_relaxed);
     if (index >= loop->num_chunks) return;
     const uint64_t begin = index * loop->chunk;
     const uint64_t end = std::min(loop->n, begin + loop->chunk);
     (*loop->fn)(begin, end);
+    // order: acq_rel — the release side publishes this chunk's writes to
+    // the issuing thread, whose acquire load of `done` in ParallelFor
+    // synchronizes with it before the loop returns; the acquire side
+    // chains earlier chunks' publications through intermediate workers.
     if (loop->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         loop->num_chunks) {
-      std::lock_guard<std::mutex> lock(loop->mu);
-      loop->cv.notify_all();
+      MutexLock lock(loop->mu);
+      loop->cv.NotifyAll();
     }
   }
 }
@@ -58,10 +67,10 @@ ThreadPool::ThreadPool(uint32_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -69,8 +78,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mu_);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.back());
       tasks_.pop_back();
@@ -102,18 +111,20 @@ void ThreadPool::ParallelFor(uint64_t n, uint64_t grain,
   const uint64_t helpers =
       std::min<uint64_t>(workers_.size(), loop->num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (uint64_t h = 0; h < helpers; ++h) {
       tasks_.emplace_back([loop] { RunChunks(loop.get()); });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   RunChunks(loop.get());
-  std::unique_lock<std::mutex> lock(loop->mu);
-  loop->cv.wait(lock, [&loop] {
-    return loop->done.load(std::memory_order_acquire) == loop->num_chunks;
-  });
+  MutexLock lock(loop->mu);
+  // order: acquire — pairs with the acq_rel fetch_add in RunChunks; once
+  // every chunk is counted, all chunk writes are visible to this thread.
+  while (loop->done.load(std::memory_order_acquire) != loop->num_chunks) {
+    loop->cv.Wait(loop->mu);
+  }
 }
 
 }  // namespace vecube

@@ -17,12 +17,12 @@
 #ifndef VECUBE_UTIL_THREAD_POOL_H_
 #define VECUBE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace vecube {
 
@@ -46,17 +46,18 @@ class ThreadPool {
   /// pool is single-threaded or the range is below the grain. Blocks until
   /// every chunk has completed. Safe to call from inside a pool task.
   void ParallelFor(uint64_t n, uint64_t grain,
-                   const std::function<void(uint64_t, uint64_t)>& fn);
+                   const std::function<void(uint64_t, uint64_t)>& fn)
+      VECUBE_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() VECUBE_EXCLUDES(mu_);
 
   uint32_t num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<std::function<void()>> tasks_ VECUBE_GUARDED_BY(mu_);
+  bool stop_ VECUBE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vecube

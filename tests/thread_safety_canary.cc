@@ -1,0 +1,51 @@
+// Thread-safety annotation canary: deliberately ill-locked code.
+//
+// This file is NOT part of any shipping target. tests/CMakeLists.txt
+// registers it, only when VECUBE_THREAD_SAFETY=ON (Clang), as a
+// negative-compile ctest: building this object MUST fail under
+// -Werror=thread-safety. If it ever compiles, the analysis has been
+// silently disabled (wrong flags, annotation macros stubbed out, a
+// global escape hatch) and the canary test fails the suite.
+//
+// Under non-Clang compilers the annotations compile away and this file
+// is valid (never-built) C++ — the ctest is simply not registered.
+
+#include "util/sync.h"
+
+namespace vecube {
+namespace {
+
+class IllLockedCounter {
+ public:
+  // Violation 1: writes a guarded field without holding the mutex.
+  void BumpWithoutLock() { ++value_; }
+
+  // Violation 2: acquires the mutex and returns with it still held on
+  // one path — not released on every path.
+  void LeakLockOnEvenValues() {
+    mu_.Lock();
+    if (value_ % 2 != 0) {
+      mu_.Unlock();
+    }
+  }
+
+  // Violation 3: calls a REQUIRES function without the capability.
+  void CallContractWithoutLock() { BumpLocked(); }
+
+ private:
+  void BumpLocked() VECUBE_REQUIRES(mu_) { ++value_; }
+
+  Mutex mu_;
+  int value_ VECUBE_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the class is ODR-used and the analysis runs over it.
+void TouchCanary() {
+  IllLockedCounter counter;
+  counter.BumpWithoutLock();
+  counter.LeakLockOnEvenValues();
+  counter.CallContractWithoutLock();
+}
+
+}  // namespace
+}  // namespace vecube

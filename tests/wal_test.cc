@@ -1,14 +1,17 @@
 // Write-ahead log: append/scan round trips, lsn continuity across reopen
 // and reset, torn-tail detection and truncation, rollback of failed
-// appends, and corruption rejection.
+// appends, corruption rejection, and append serialization under
+// concurrent writers.
 
 #include "core/wal.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cube/shape.h"
@@ -56,9 +59,9 @@ TEST_F(WalTest, AppendScanRoundTrip) {
   const CubeShape shape = TestShape();
   auto wal = WriteAheadLog::Open(path_, shape);
   ASSERT_TRUE(wal.ok());
-  EXPECT_EQ(wal->last_lsn(), 0u);
-  auto lsn1 = wal->Append(Delta(1, 2, 5.0));
-  auto lsn2 = wal->Append(Delta(7, 0, -3.5));
+  EXPECT_EQ((*wal)->last_lsn(), 0u);
+  auto lsn1 = (*wal)->Append(Delta(1, 2, 5.0));
+  auto lsn2 = (*wal)->Append(Delta(7, 0, -3.5));
   ASSERT_TRUE(lsn1.ok() && lsn2.ok());
   EXPECT_EQ(*lsn1, 1u);
   EXPECT_EQ(*lsn2, 2u);
@@ -79,13 +82,13 @@ TEST_F(WalTest, ReopenContinuesLsnSequence) {
   {
     auto wal = WriteAheadLog::Open(path_, shape);
     ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(Delta(0, 0, 1.0)).ok());
+    ASSERT_TRUE((*wal)->Append(Delta(0, 0, 1.0)).ok());
   }
   WalScan scan;
   auto wal = WriteAheadLog::Open(path_, shape, &scan);
   ASSERT_TRUE(wal.ok());
   EXPECT_EQ(scan.records.size(), 1u);
-  auto lsn = wal->Append(Delta(0, 1, 2.0));
+  auto lsn = (*wal)->Append(Delta(0, 1, 2.0));
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(*lsn, 2u);
 }
@@ -107,8 +110,8 @@ TEST_F(WalTest, TornTailDetectedAndTruncatedOnOpen) {
   {
     auto wal = WriteAheadLog::Open(path_, shape);
     ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(Delta(1, 1, 1.0)).ok());
-    ASSERT_TRUE(wal->Append(Delta(2, 2, 2.0)).ok());
+    ASSERT_TRUE((*wal)->Append(Delta(1, 1, 1.0)).ok());
+    ASSERT_TRUE((*wal)->Append(Delta(2, 2, 2.0)).ok());
   }
   {
     // A crash mid-append leaves a torn record: simulate with raw garbage.
@@ -124,7 +127,7 @@ TEST_F(WalTest, TornTailDetectedAndTruncatedOnOpen) {
   WalScan reopened;
   auto wal = WriteAheadLog::Open(path_, shape, &reopened);
   ASSERT_TRUE(wal.ok());
-  auto lsn = wal->Append(Delta(3, 3, 3.0));
+  auto lsn = (*wal)->Append(Delta(3, 3, 3.0));
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(*lsn, 3u);
   auto rescan = WriteAheadLog::Scan(path_, shape);
@@ -139,11 +142,11 @@ TEST_F(WalTest, BitFlipInRecordStopsScanAtPriorRecord) {
   {
     auto wal = WriteAheadLog::Open(path_, shape);
     ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(Delta(1, 1, 1.0)).ok());
+    ASSERT_TRUE((*wal)->Append(Delta(1, 1, 1.0)).ok());
     auto size = FileSize(path_);
     ASSERT_TRUE(size.ok());
     record_start = *size;
-    ASSERT_TRUE(wal->Append(Delta(2, 2, 2.0)).ok());
+    ASSERT_TRUE((*wal)->Append(Delta(2, 2, 2.0)).ok());
   }
   {
     // Flip one bit inside the second record's payload.
@@ -168,7 +171,7 @@ TEST_F(WalTest, HeaderCorruptionRejectsWholeLog) {
   {
     auto wal = WriteAheadLog::Open(path_, shape);
     ASSERT_TRUE(wal.ok());
-    ASSERT_TRUE(wal->Append(Delta(0, 0, 1.0)).ok());
+    ASSERT_TRUE((*wal)->Append(Delta(0, 0, 1.0)).ok());
   }
   {
     // Corrupt the base_lsn field (covered by the header CRC).
@@ -185,13 +188,13 @@ TEST_F(WalTest, FailedAppendRollsBackAndLogStaysClean) {
   const CubeShape shape = TestShape();
   auto wal = WriteAheadLog::Open(path_, shape);
   ASSERT_TRUE(wal.ok());
-  ASSERT_TRUE(wal->Append(Delta(1, 1, 1.0)).ok());
+  ASSERT_TRUE((*wal)->Append(Delta(1, 1, 1.0)).ok());
 
   FailpointAction torn;
   torn.kind = FailpointAction::Kind::kShortWrite;
   torn.short_bytes = 5;
   Failpoints::Arm("wal.append", torn);
-  EXPECT_FALSE(wal->Append(Delta(2, 2, 2.0)).ok());
+  EXPECT_FALSE((*wal)->Append(Delta(2, 2, 2.0)).ok());
 
   // The torn bytes were truncated away; the log scans clean and the next
   // append reuses the rolled-back lsn.
@@ -199,7 +202,7 @@ TEST_F(WalTest, FailedAppendRollsBackAndLogStaysClean) {
   ASSERT_TRUE(scan.ok());
   EXPECT_FALSE(scan->torn_tail);
   EXPECT_EQ(scan->records.size(), 1u);
-  auto lsn = wal->Append(Delta(3, 3, 3.0));
+  auto lsn = (*wal)->Append(Delta(3, 3, 3.0));
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(*lsn, 2u);
 }
@@ -208,19 +211,19 @@ TEST_F(WalTest, ResetContinuesSequenceAndSurvivesFailure) {
   const CubeShape shape = TestShape();
   auto wal = WriteAheadLog::Open(path_, shape);
   ASSERT_TRUE(wal.ok());
-  ASSERT_TRUE(wal->Append(Delta(1, 1, 1.0)).ok());
-  ASSERT_TRUE(wal->Append(Delta(2, 2, 2.0)).ok());
+  ASSERT_TRUE((*wal)->Append(Delta(1, 1, 1.0)).ok());
+  ASSERT_TRUE((*wal)->Append(Delta(2, 2, 2.0)).ok());
 
   // A failed reset keeps the old log intact and appendable.
   Failpoints::Arm("wal.reset", FailpointAction{});
-  EXPECT_FALSE(wal->Reset().ok());
+  EXPECT_FALSE((*wal)->Reset().ok());
   auto scan = WriteAheadLog::Scan(path_, shape);
   ASSERT_TRUE(scan.ok());
   EXPECT_EQ(scan->records.size(), 2u) << "old log still complete";
 
-  ASSERT_TRUE(wal->Reset().ok());
-  EXPECT_EQ(wal->records_in_log(), 0u);
-  auto lsn = wal->Append(Delta(3, 3, 3.0));
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->records_in_log(), 0u);
+  auto lsn = (*wal)->Append(Delta(3, 3, 3.0));
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(*lsn, 3u) << "lsn sequence continues across reset";
   auto rescan = WriteAheadLog::Scan(path_, shape);
@@ -233,10 +236,10 @@ TEST_F(WalTest, OutOfRangeDeltaRejectedBeforeWrite) {
   const CubeShape shape = TestShape();
   auto wal = WriteAheadLog::Open(path_, shape);
   ASSERT_TRUE(wal.ok());
-  EXPECT_FALSE(wal->Append(Delta(8, 0, 1.0)).ok()) << "coord out of extent";
+  EXPECT_FALSE((*wal)->Append(Delta(8, 0, 1.0)).ok()) << "coord out of extent";
   CellDelta bad;
   bad.coords = {1};
-  EXPECT_FALSE(wal->Append(bad).ok()) << "arity mismatch";
+  EXPECT_FALSE((*wal)->Append(bad).ok()) << "arity mismatch";
   auto scan = WriteAheadLog::Scan(path_, shape);
   ASSERT_TRUE(scan.ok());
   EXPECT_TRUE(scan->records.empty());
@@ -249,10 +252,63 @@ TEST_F(WalTest, CreateAtExplicitBaseLsn) {
                                  /*sync_each_append=*/true,
                                  /*create_base_lsn=*/42);
   ASSERT_TRUE(wal.ok());
-  EXPECT_EQ(wal->last_lsn(), 41u);
-  auto lsn = wal->Append(Delta(0, 0, 1.0));
+  EXPECT_EQ((*wal)->last_lsn(), 41u);
+  auto lsn = (*wal)->Append(Delta(0, 0, 1.0));
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(*lsn, 42u);
+}
+
+// Regression (concurrency contracts PR): WriteAheadLog is internally
+// synchronized — concurrent Append calls must hand out unique, gap-free
+// lsns and leave every record durable and well-formed. Before the
+// internal mutex, concurrent appends could interleave the write and the
+// lsn bump, tearing records and duplicating lsns.
+TEST_F(WalTest, ConcurrentAppendsSerializeCleanly) {
+  const CubeShape shape = TestShape();
+  auto wal = WriteAheadLog::Open(path_, shape, nullptr,
+                                 /*sync_each_append=*/false);
+  ASSERT_TRUE(wal.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 64;
+  std::vector<std::vector<uint64_t>> lsns(kThreads);
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          auto lsn = (*wal)->Append(
+              Delta(static_cast<uint32_t>(t), 0, static_cast<double>(i)));
+          ASSERT_TRUE(lsn.ok());
+          lsns[t].push_back(*lsn);
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+
+  // Every lsn handed out exactly once, covering [1, kThreads*kPerThread].
+  std::vector<uint64_t> all;
+  for (const auto& per_thread : lsns) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i + 1);
+  EXPECT_EQ((*wal)->last_lsn(), all.size());
+
+  // Close the log (flushing the append buffer) before scanning.
+  (*wal).reset();
+
+  // The file scans clean: no torn interleavings, lsns dense.
+  auto scan = WriteAheadLog::Scan(path_, shape);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan->torn_tail);
+  ASSERT_EQ(scan->records.size(), all.size());
+  for (size_t i = 0; i < scan->records.size(); ++i) {
+    EXPECT_EQ(scan->records[i].lsn, i + 1);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,18 @@
+// Checker canary: file I/O performed while holding a ViewCache shard
+// mutex — a latency cliff for every reader mapping to the shard. NOT
+// compiled — consumed by tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/serve/view_cache.cc
+// vecube-check-expect: no-blocking-under-shard-lock
+
+#include "serve/view_cache.h"
+#include "util/sync.h"
+
+namespace vecube {
+
+void ViewCache::PersistStatsForDebugging(Shard& shard) {
+  MutexLock lock(shard.mu);
+  stats_file_->Append(SerializeCounters(shard));  // BUG: I/O under lock
+}
+
+}  // namespace vecube

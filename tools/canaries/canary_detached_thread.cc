@@ -1,0 +1,16 @@
+// Checker canary: a detached thread spawned outside util/thread_pool —
+// it outlives every shutdown contract in the tree. NOT compiled —
+// consumed by tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/core/background_flush.cc
+// vecube-check-expect: detached-threads,naked-sync-primitives
+
+#include <thread>
+
+namespace vecube {
+
+void StartBackgroundFlush() {
+  std::thread([] { /* flush loop */ }).detach();  // BUG: detached thread
+}
+
+}  // namespace vecube

@@ -1,0 +1,19 @@
+// Checker canary: EpochDomain::Acquire() result bound to `auto` instead
+// of a declared local Pin — the RAII contract must be visible on the
+// acquiring statement itself. NOT compiled — consumed by
+// tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/serve/view_cache.cc
+// vecube-check-expect: epoch-pin-raii
+
+#include "serve/view_cache.h"
+#include "util/epoch.h"
+
+namespace vecube {
+
+void ViewCache::ScanForDebugging() {
+  auto pin = EpochDomain::Acquire();  // BUG: not a declared local Pin
+  (void)pin;
+}
+
+}  // namespace vecube

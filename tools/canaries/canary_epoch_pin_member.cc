@@ -1,0 +1,21 @@
+// Checker canary: an epoch pin stored in a member outside the
+// sanctioned files — a pin that survives its scope stalls epoch
+// reclamation for the whole process. NOT compiled — consumed by
+// tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/core/assembly.cc
+// vecube-check-expect: epoch-pin-raii
+
+#include "util/epoch.h"
+
+namespace vecube {
+
+class CachedReader {
+ public:
+  void Start() { pin_ = EpochDomain::Acquire(); }  // BUG: outlives scope
+
+ private:
+  EpochDomain::Pin pin_;  // BUG: pin stored as a member
+};
+
+}  // namespace vecube

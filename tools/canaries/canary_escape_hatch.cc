@@ -1,0 +1,15 @@
+// Checker canary: a VECUBE_NO_THREAD_SAFETY_ANALYSIS escape hatch with
+// no entry in tools/thread_safety_allowlist.txt. NOT compiled —
+// consumed by tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/serve/warmup.cc
+// vecube-check-expect: escape-hatch-allowlist
+
+#include "util/sync.h"
+
+namespace vecube {
+
+void WarmCaches() VECUBE_NO_THREAD_SAFETY_ANALYSIS {  // BUG: unlisted
+}
+
+}  // namespace vecube

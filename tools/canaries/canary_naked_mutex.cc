@@ -1,0 +1,24 @@
+// Checker canary: raw standard-library synchronization primitives in
+// library code — invisible to thread-safety analysis, which only sees
+// the annotated wrappers in util/sync.h. NOT compiled — consumed by
+// tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/core/side_table.cc
+// vecube-check-expect: naked-sync-primitives
+
+#include <mutex>
+
+namespace vecube {
+namespace {
+
+std::mutex g_table_mu;  // BUG: naked std::mutex
+int g_entries = 0;
+
+}  // namespace
+
+void BumpSideTable() {
+  std::lock_guard<std::mutex> lock(g_table_mu);  // BUG: naked lock_guard
+  ++g_entries;
+}
+
+}  // namespace vecube

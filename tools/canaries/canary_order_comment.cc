@@ -1,0 +1,20 @@
+// Checker canary: an explicit memory_order with no adjacent `// order:`
+// justification. NOT compiled — consumed by
+// tools/vecube_check.py --canaries.
+//
+// vecube-check-as: src/haar/dispatch_cache.cc
+// vecube-check-expect: order-comment
+
+#include <atomic>
+
+namespace vecube {
+namespace {
+
+std::atomic<int> g_mode{0};
+
+int Mode() {
+  return g_mode.load(std::memory_order_acquire);  // BUG: unjustified
+}
+
+}  // namespace
+}  // namespace vecube

@@ -37,18 +37,11 @@ Rules (each can be suppressed on a single line with a trailing
                     anywhere else would execute unguarded on CPUs without
                     the feature (or silently skip dispatch and the
                     VECUBE_DISABLE_AVX2 escape hatch).
-  serve-lock-free-reads
-                    The ViewCache hit path is contention-free by design
-                    (DESIGN.md §10): the bodies of ViewCache::Lookup,
-                    ViewCache::LookupPinned, and ViewCache::FindPinned in
-                    src/serve/view_cache.cc must never acquire a mutex
-                    (lock_guard/unique_lock/scoped_lock/shared_lock or a
-                    raw .lock()/->lock() call). Reads go through the
-                    epoch-pinned atomic table publication; only writers
-                    and the miss path (LookupOrBegin and friends) may
-                    lock. A mutex creeping back into the read path is the
-                    exact concurrent-serving scalability regression this
-                    rule exists to keep out.
+
+The old serve-lock-free-reads regex rule moved to tools/vecube_check.py
+(rule hit-path-no-locks), which checks call-graph *reachability* instead
+of grepping three function bodies — a lock smuggled into a helper the
+hit path calls is now caught too.
 
 Usage:
   tools/vecube_lint.py [--root DIR] [--list-rules] [paths...]
@@ -85,14 +78,6 @@ SIMD_RE = re.compile(
     r"|\bimmintrin\.h\b"
 )
 SIMD_ALLOWED = ("src/haar/simd_avx2.cc",)
-
-MUTEX_ACQUIRE_RE = re.compile(
-    r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
-    r"|\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*<"
-    r"|(?:\.|->)\s*(?:lock|try_lock|lock_shared)\s*\("
-)
-LOCK_FREE_READ_FUNCS = ("LookupPinned", "Lookup", "FindPinned")
-LOCK_FREE_READ_FILE = "src/serve/view_cache.cc"
 
 NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new T`, not `operator new(`
 DELETE_EXPR_RE = re.compile(r"(?<![\w.])delete(?:\s*\[\s*\])?\s+[\w:(*]")
@@ -219,67 +204,6 @@ def check_lines(path: Path, root: Path, text: str, findings: list):
         prev_code = code
 
 
-def check_serve_lock_free(path: Path, root: Path, text: str, findings: list):
-    """Brace-matches the ViewCache read-path function bodies and reports
-    any mutex acquisition inside them."""
-    rel = path.relative_to(root)
-    if rel.as_posix() != LOCK_FREE_READ_FILE:
-        return
-    # Rebuild the comment-stripped source with line structure intact so
-    # brace matching ignores braces in comments but line numbers (and
-    # per-line suppressions from the raw text) stay addressable.
-    raw_lines = text.splitlines()
-    code_by_line = {}
-    for lineno, _, code in iter_code_lines(text):
-        code_by_line[lineno] = code
-    stripped = "\n".join(code_by_line.get(n, "")
-                         for n in range(1, len(raw_lines) + 1))
-
-    sig_re = re.compile(
-        r"ViewCache::(?:" + "|".join(LOCK_FREE_READ_FUNCS) + r")\s*\(")
-    for match in sig_re.finditer(stripped):
-        # Walk to the body's opening brace; a `;` first means this is a
-        # mere mention (declaration, comment reference), not a definition.
-        # The signature match consumed the parameter list's opening paren,
-        # so the paren walk starts one deep.
-        pos = match.end()
-        depth = 1
-        body_start = None
-        while pos < len(stripped):
-            ch = stripped[pos]
-            if body_start is None:
-                if ch == ";" and depth == 0:
-                    break
-                if ch in "(":
-                    depth += 1
-                elif ch == ")":
-                    depth -= 1
-                elif ch == "{" and depth == 0:
-                    body_start = pos
-                    depth = 1
-            else:
-                if ch == "{":
-                    depth += 1
-                elif ch == "}":
-                    depth -= 1
-                    if depth == 0:
-                        break
-            pos += 1
-        if body_start is None:
-            continue
-        first_line = stripped.count("\n", 0, body_start) + 1
-        last_line = stripped.count("\n", 0, pos) + 1
-        for lineno in range(first_line, last_line + 1):
-            code = code_by_line.get(lineno, "")
-            raw = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-            if MUTEX_ACQUIRE_RE.search(code) \
-                    and not suppressed(raw, "serve-lock-free-reads"):
-                findings.append(Finding(
-                    rel, lineno, "serve-lock-free-reads",
-                    "mutex acquisition in the ViewCache hit path; reads "
-                    "must stay epoch-pinned and lock-free (DESIGN.md §10)"))
-
-
 def check_nodiscard_status(root: Path, findings: list):
     for rel_name, class_name in (("src/util/status.h", "Status"),
                                  ("src/util/result.h", "Result")):
@@ -331,7 +255,7 @@ def main() -> int:
 
     if args.list_rules:
         print("header-guard no-stdio no-naked-new no-nondeterminism "
-              "nodiscard-status simd-dispatch serve-lock-free-reads")
+              "nodiscard-status simd-dispatch")
         return 0
 
     root = Path(args.root).resolve() if args.root \
@@ -347,7 +271,6 @@ def main() -> int:
             continue
         check_header_guard(path, root, text, findings)
         check_lines(path, root, text, findings)
-        check_serve_lock_free(path, root, text, findings)
     check_nodiscard_status(root, findings)
 
     for finding in findings:
