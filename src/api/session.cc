@@ -421,6 +421,18 @@ void OlapSession::RebuildEngines() {
     count_engine_ = std::make_unique<AssemblyEngine>(&*count_store_,
                                                      pool_.get(), &scratch_);
   }
+  ServeQueryOptions serve_options = options_.serving;
+  // Degradation is a per-query opt-in via QueryContext (Query() only);
+  // the server-level default stays exact.
+  serve_options.allow_degraded = false;
+  // Every fill runs under the session's op-count invariant regardless of
+  // what the caller put in Options::serving.
+  serve_options.verify_fill = [this](const ElementId& id,
+                                     uint64_t measured_ops) {
+    return VerifyOpCount(id, measured_ops);
+  };
+  server_ = std::make_unique<ElementServer>(engine_.get(), &store_,
+                                            cache_.get(), serve_options);
 }
 
 Status OlapSession::DeclareWorkload(QueryPopulation population) {
@@ -522,8 +534,10 @@ Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
   // Element data changed in place; plans (which depend only on which
   // elements exist) remain valid, so no engine invalidation is needed.
   // Cached *answers* are another story: every view element is a linear
-  // functional of the cube, so this delta staled every one of them.
+  // functional of the cube, so this delta staled every one of them — as
+  // are the stored norms the degradation bounds are computed from.
   if (cache_ != nullptr) cache_->InvalidateAll();
+  server_->InvalidateApprox();
   VECUBE_RETURN_NOT_OK(VerifyAfterUpdate());
   if (wal_ != nullptr && options_.durability.checkpoint_every > 0 &&
       wal_->records_in_log() >= options_.durability.checkpoint_every) {
@@ -532,7 +546,8 @@ Status OlapSession::AddFact(const std::vector<uint32_t>& coords,
   return Status::OK();
 }
 
-Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask) {
+Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask,
+                                      const QueryContext& ctx) {
   if (!count_store_.has_value()) {
     return Status::FailedPrecondition(
         "session was created without maintain_count_cube");
@@ -542,8 +557,8 @@ Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask) {
                           ElementId::AggregatedView(aggregated_mask, shape_));
   OpCounter ops;
   Tensor sums, counts;
-  VECUBE_ASSIGN_OR_RETURN(sums, engine_->Assemble(view, &ops));
-  VECUBE_ASSIGN_OR_RETURN(counts, count_engine_->Assemble(view, &ops));
+  VECUBE_ASSIGN_OR_RETURN(sums, engine_->Assemble(view, &ops, &ctx));
+  VECUBE_ASSIGN_OR_RETURN(counts, count_engine_->Assemble(view, &ops, &ctx));
   if (checker_ != nullptr) {
     // Both assemblies accrued into one counter; each engine's measured
     // ops must equal its own memoized plan cost, so the sum must too.
@@ -560,69 +575,46 @@ Result<Tensor> OlapSession::AvgByMask(uint32_t aggregated_mask) {
   return avg;
 }
 
-Result<Tensor> OlapSession::ViewByMask(uint32_t aggregated_mask) {
+Result<Tensor> OlapSession::ViewByMask(uint32_t aggregated_mask,
+                                       const QueryContext& ctx) {
   ElementId view;
   VECUBE_ASSIGN_OR_RETURN(view,
                           ElementId::AggregatedView(aggregated_mask, shape_));
-  return Element(view);
+  return Element(view, ctx);
 }
 
-Result<Tensor> OlapSession::Element(const ElementId& id) {
-  if (cache_ == nullptr) {
-    OpCounter ops;
-    Tensor answer;
-    VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(id, &ops));
-    VECUBE_RETURN_NOT_OK(VerifyOpCount(id, ops.adds));
-    ++stats_.queries;
-    stats_.assembly_ops += ops.adds;
-    if (options_.track_accesses) access_log_.Record(id);
-    return answer;
-  }
-  for (;;) {
-    ViewCache::LookupOutcome outcome = cache_->LookupOrBegin(id);
-    if (outcome.hit) {
-      // Bit-exact with a fresh assembly (determinism invariant); no ops
-      // were spent, so there is no measured count to verify.
-      ++stats_.queries;
-      if (options_.track_accesses) access_log_.Record(id);
-      return *outcome.hit;
-    }
-    if (!outcome.fill.leader()) {
-      // Another caller is already assembling this element; wait for its
-      // answer instead of duplicating the work (single-flight).
-      std::shared_ptr<const Tensor> filled = cache_->WaitFill(outcome.fill);
-      if (filled == nullptr) continue;  // leader aborted — retry
-      ++stats_.queries;
-      if (options_.track_accesses) access_log_.Record(id);
-      return *filled;
-    }
-    OpCounter ops;
-    Result<Tensor> answer = engine_->Assemble(id, &ops);
-    if (!answer.ok()) {
-      // Wake any coalesced followers so they retry rather than hang.
-      cache_->AbortFill(std::move(outcome.fill));
-      return answer.status();
-    }
-    if (Status verified = VerifyOpCount(id, ops.adds); !verified.ok()) {
-      cache_->AbortFill(std::move(outcome.fill));
-      return verified;
-    }
-    // PlanCost is memoized from the assembly that just ran — exactly the
-    // ops a future hit on this entry will save.
-    std::shared_ptr<const Tensor> served = cache_->CompleteFill(
-        std::move(outcome.fill), std::move(answer).value(),
-        engine_->PlanCost(id));
-    ++stats_.queries;
-    stats_.assembly_ops += ops.adds;
-    if (options_.track_accesses) access_log_.Record(id);
-    return *served;
-  }
+Result<Tensor> OlapSession::Element(const ElementId& id,
+                                    const QueryContext& ctx) {
+  // This signature returns a bare Tensor — no channel for an error
+  // bound — so degradation must not leak through it even if the caller
+  // set allow_degraded on the context. Query() is the degradation-aware
+  // entry point.
+  QueryContext exact = ctx;
+  exact.set_allow_degraded(false);
+  QueryAnswer answer;
+  VECUBE_ASSIGN_OR_RETURN(answer, server_->Serve(id, exact));
+  ++stats_.queries;
+  stats_.assembly_ops += answer.ops;
+  if (options_.track_accesses) access_log_.Record(id);
+  return std::move(answer.data);
 }
 
-Result<double> OlapSession::RangeSum(const RangeSpec& range) {
+Result<QueryAnswer> OlapSession::Query(const ElementId& id,
+                                       const QueryContext& ctx) {
+  QueryAnswer answer;
+  VECUBE_ASSIGN_OR_RETURN(answer, server_->Serve(id, ctx));
+  ++stats_.queries;
+  stats_.assembly_ops += answer.ops;
+  if (options_.track_accesses) access_log_.Record(id);
+  return answer;
+}
+
+Result<double> OlapSession::RangeSum(const RangeSpec& range,
+                                     const QueryContext& ctx) {
   RangeQueryStats range_stats;
   double sum;
-  VECUBE_ASSIGN_OR_RETURN(sum, range_engine_->RangeSum(range, &range_stats));
+  VECUBE_ASSIGN_OR_RETURN(
+      sum, range_engine_->RangeSum(range, &range_stats, ctx));
   ++stats_.range_queries;
   stats_.range_cell_reads += range_stats.cell_reads;
   stats_.assembly_ops += range_stats.assembly_ops;

@@ -44,7 +44,9 @@
 #include "cube/tensor.h"
 #include "haar/scratch.h"
 #include "range/range_engine.h"
+#include "serve/serving.h"
 #include "serve/view_cache.h"
+#include "util/query_context.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 #include "verify/invariants.h"
@@ -103,6 +105,14 @@ struct OlapSessionOptions {
   /// Optimize()/Repair() (the materialized set changes). The COUNT side
   /// (AvgByMask) is never cached — its elements share ids with SUM ones.
   ViewCacheOptions view_cache = {};
+  /// Robustness knobs for the serving front end (serve/serving.h):
+  /// deadline → op-budget conversion rate and follower retry policy.
+  /// `verify_fill` is ignored — the session installs its own op-count
+  /// invariant hook. Degradation is opted into per query via
+  /// QueryContext::set_allow_degraded and surfaced only through Query()
+  /// (never through Element()/ViewByMask(), which have no channel for
+  /// an error bound).
+  ServeQueryOptions serving = {};
   /// Execution lanes for assembly (Haar kernels chunk their row loops,
   /// batch assembly fans out across targets). 0 = hardware concurrency;
   /// 1 = fully serial, bit- and count-identical to the single-threaded
@@ -177,18 +187,33 @@ class OlapSession {
   Status AddFact(const std::vector<uint32_t>& coords, double amount);
 
   /// Aggregated view by dimension mask (bit m set = dim m aggregated).
-  Result<Tensor> ViewByMask(uint32_t aggregated_mask);
+  /// `ctx` (here and below) bounds the query: an expired or cancelled
+  /// context unwinds assembly and every wait with kDeadlineExceeded /
+  /// kCancelled; the default context is unbounded.
+  Result<Tensor> ViewByMask(uint32_t aggregated_mask,
+                            const QueryContext& ctx = QueryContext());
 
   /// AVG view: SUM / COUNT cell-wise (cells with zero count yield 0).
   /// Requires Options::maintain_count_cube.
-  Result<Tensor> AvgByMask(uint32_t aggregated_mask);
+  Result<Tensor> AvgByMask(uint32_t aggregated_mask,
+                           const QueryContext& ctx = QueryContext());
 
-  /// Any view element by id.
-  Result<Tensor> Element(const ElementId& id);
+  /// Any view element by id — always exact (degradation, if requested on
+  /// `ctx`, is stripped: this signature has no channel for a bound).
+  Result<Tensor> Element(const ElementId& id,
+                         const QueryContext& ctx = QueryContext());
+
+  /// Degradation-aware element query: like Element(), but when `ctx`
+  /// opted in via set_allow_degraded and the budget falls short, returns
+  /// an approximate answer whose `l2_bound` soundly bounds its L2 error.
+  /// Degraded answers are never cached.
+  Result<QueryAnswer> Query(const ElementId& id,
+                            const QueryContext& ctx = QueryContext());
 
   /// Range-aggregation (Section 6); missing intermediate elements are
   /// assembled on demand and cached.
-  Result<double> RangeSum(const RangeSpec& range);
+  Result<double> RangeSum(const RangeSpec& range,
+                          const QueryContext& ctx = QueryContext());
 
   [[nodiscard]] const CubeShape& shape() const { return shape_; }
   [[nodiscard]] const ElementStore& store() const { return store_; }
@@ -257,6 +282,8 @@ class OlapSession {
   std::unique_ptr<AssemblyEngine> count_engine_;
   std::unique_ptr<RangeEngine> range_engine_;
   std::unique_ptr<ViewCache> cache_;  // null unless view_cache.enabled
+  /// Serving front end for Element()/Query(); rebuilt with the engines.
+  std::unique_ptr<ElementServer> server_;
   AccessTracker tracker_;
   /// Write-behind buffer in front of tracker_ keeping Record() off the
   /// serving hit path; declared after tracker_ so it drains cleanly

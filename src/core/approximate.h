@@ -12,9 +12,12 @@
 #define VECUBE_CORE_APPROXIMATE_H_
 
 #include <cstdint>
+#include <unordered_map>
 
+#include "core/assembly.h"
 #include "core/store.h"
 #include "cube/tensor.h"
+#include "util/query_context.h"
 #include "util/result.h"
 
 namespace vecube {
@@ -54,6 +57,70 @@ struct ApproxError {
 
 Result<ApproxError> CompareTensors(const Tensor& exact,
                                    const Tensor& approximate);
+
+/// An answer that may be approximate, with a sound error bound.
+struct DegradedAnswer {
+  Tensor data;
+  /// Upper bound on ||exact − data||₂ (0 when the answer is exact).
+  double l2_bound = 0.0;
+  /// Kernel add/subtract operations actually spent.
+  uint64_t ops = 0;
+  /// False iff the full Procedure-3 plan ran (the answer is bit-exact).
+  bool degraded = false;
+};
+
+/// Budget-bounded assembly for graceful degradation (DESIGN.md §13).
+///
+/// When a query's remaining deadline cannot cover the Procedure-3 plan
+/// cost, AssembleWithin() answers approximately by *truncated synthesis*:
+/// it recursively descends the synthesis lattice, spends its op budget on
+/// the partial (sum) children — which carry the view's mass — and zeroes
+/// whichever residual children it cannot afford, substituting a sound
+/// per-element L2 norm bound for their contribution. Zeroing a residual
+/// child r introduces error exactly ||r||₂; synthesis is linear with
+/// ||S(x,y)||₂² = (||x||₂² + ||y||₂²) / 2, so bounds compose upward as
+/// B = sqrt((B_p² + B_r²)/2). ||r||₂ itself is bounded without assembling
+/// r: every P1/R1 step satisfies ||child||₂ ≤ √2·||parent||₂, so
+/// ||r||₂ ≤ min over stored ancestors a of 2^(k/2)·||a||₂ (k = cascade
+/// depth from a to r). Stored-element norms are precomputed in one pass.
+///
+/// The bound is loose (it never reads the data it skips) but always
+/// sound, and the returned tensor is always a plausible view: partial
+/// sums are exact wherever the budget reached. Degraded answers must
+/// never be cached (serve/serving.h enforces this).
+class ApproxAssembler {
+ public:
+  /// Borrows both; the caller keeps them alive and calls Refresh() after
+  /// mutating the store.
+  ApproxAssembler(AssemblyEngine* engine, const ElementStore* store);
+
+  /// Recomputes stored-element norms (one O(storage) pass).
+  void Refresh();
+
+  /// Materializes `target` spending at most ~`op_budget` kernel ops.
+  /// Returns an exact answer (bound 0) when the plan fits the budget.
+  /// Status Incomplete if the store cannot reconstruct the target at all,
+  /// DeadlineExceeded if no bounded answer exists within the budget (no
+  /// stored ancestor to bound the skipped mass). `ctx` is polled at every
+  /// recursion node.
+  Result<DegradedAnswer> AssembleWithin(const ElementId& target,
+                                        uint64_t op_budget,
+                                        const QueryContext* ctx = nullptr);
+
+  /// min over stored ancestors a of 2^(k/2)·||a||₂ — a sound upper bound
+  /// on ||target||₂ computed without assembling it. +inf if no stored
+  /// ancestor exists.
+  [[nodiscard]] double NormBound(const ElementId& id) const;
+
+ private:
+  Result<DegradedAnswer> Recurse(const ElementId& target, uint64_t budget,
+                                 const QueryContext* ctx);
+
+  AssemblyEngine* engine_;
+  const ElementStore* store_;
+  /// L2 norms of resident stored elements.
+  std::unordered_map<ElementId, double, ElementIdHash> stored_norms_;
+};
 
 }  // namespace vecube
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <memory>
 #include <optional>
 
 #include "haar/fused.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/sync.h"
 
@@ -215,7 +217,17 @@ uint64_t AssemblyEngine::PlanCost(const ElementId& target) {
 }
 
 Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
-                                           OpCounter* ops) {
+                                           OpCounter* ops,
+                                           const QueryContext* ctx) {
+  if (ctx != nullptr) VECUBE_RETURN_NOT_OK(ctx->Check());
+  // Chaos hook: lets latency tests stall every plan node (kDelay) or fail
+  // the assembly mid-plan (kError). Unarmed cost: one relaxed load.
+  if (std::optional<FailpointAction> fp =
+          Failpoints::HitWithDelay("assembly.node");
+      fp.has_value() && fp->kind == FailpointAction::Kind::kError) {
+    return Status::Internal(
+        "injected assembly failure (failpoint assembly.node)");
+  }
   std::array<DimCode, kMaxAssemblyDims> codes{};
   std::copy(target.codes().begin(), target.codes().end(), codes.begin());
   const PlanNode node = PlanRaw(codes.data());  // copy: map may rehash below
@@ -226,7 +238,7 @@ Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
       VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
       if (source == target) return *data;
       return CascadeAnalysis(*data, DescentSteps(source, target), ops, pool_,
-                             arena_);
+                             arena_, ctx);
     }
     case Choice::kSynthesize: {
       ElementId p_id, r_id;
@@ -235,8 +247,8 @@ Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
       VECUBE_ASSIGN_OR_RETURN(
           r_id, target.Child(node.split_dim, StepKind::kResidual, shape_));
       Tensor p, r;
-      VECUBE_ASSIGN_OR_RETURN(p, ExecuteSolo(p_id, ops));
-      VECUBE_ASSIGN_OR_RETURN(r, ExecuteSolo(r_id, ops));
+      VECUBE_ASSIGN_OR_RETURN(p, ExecuteSolo(p_id, ops, ctx));
+      VECUBE_ASSIGN_OR_RETURN(r, ExecuteSolo(r_id, ops, ctx));
       Tensor out;
       VECUBE_ASSIGN_OR_RETURN(
           out, SynthesizePair(p, r, node.split_dim, ops, pool_));
@@ -251,7 +263,9 @@ Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
 
 Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
                                              BatchCache* cache,
-                                             std::atomic<uint64_t>* adds) {
+                                             std::atomic<uint64_t>* adds,
+                                             const QueryContext* ctx) {
+  if (ctx != nullptr) VECUBE_RETURN_NOT_OK(ctx->Check());
   std::array<DimCode, kMaxAssemblyDims> codes{};
   std::copy(target.codes().begin(), target.codes().end(), codes.begin());
   const uint64_t target_index = EncodeRaw(codes.data());
@@ -269,9 +283,17 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
   }
   if (!owner) {
     // Another thread owns this node. Waits follow child edges of the plan
-    // DAG only, and owners are always running threads, so this terminates.
+    // DAG only, and owners are always running threads, so this terminates;
+    // the timed slices bound each wait (no-unbounded-wait) and let an
+    // expired context unwind instead of riding out a slow owner.
     MutexLock lock(entry->mu);
-    while (!entry->ready) entry->cv.Wait(entry->mu);
+    while (!entry->ready) {
+      if (ctx != nullptr) {
+        Status live = ctx->Check();
+        if (!live.ok()) return live;
+      }
+      entry->cv.WaitFor(entry->mu, std::chrono::milliseconds(100));
+    }
     if (!entry->status.ok()) return entry->status;
     return entry->tensor;
   }
@@ -290,7 +312,7 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
         VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
         if (source == target) return *data;
         return CascadeAnalysis(*data, DescentSteps(source, target), &local,
-                               pool_, arena_);
+                               pool_, arena_, ctx);
       }
       case Choice::kSynthesize: {
         ElementId p_id, r_id;
@@ -299,8 +321,8 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
         VECUBE_ASSIGN_OR_RETURN(
             r_id, target.Child(node.split_dim, StepKind::kResidual, shape_));
         Tensor p, r;
-        VECUBE_ASSIGN_OR_RETURN(p, ExecuteShared(p_id, cache, adds));
-        VECUBE_ASSIGN_OR_RETURN(r, ExecuteShared(r_id, cache, adds));
+        VECUBE_ASSIGN_OR_RETURN(p, ExecuteShared(p_id, cache, adds, ctx));
+        VECUBE_ASSIGN_OR_RETURN(r, ExecuteShared(r_id, cache, adds, ctx));
         Tensor out;
         VECUBE_ASSIGN_OR_RETURN(
             out, SynthesizePair(p, r, node.split_dim, &local, pool_));
@@ -330,18 +352,20 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
 }
 
 Result<Tensor> AssemblyEngine::Assemble(const ElementId& target,
-                                        OpCounter* ops) {
+                                        OpCounter* ops,
+                                        const QueryContext* ctx) {
   if (shape_.ndim() > kMaxAssemblyDims) return TooManyDims();
   if (target.ndim() != shape_.ndim()) {
     return Status::InvalidArgument("element arity does not match store");
   }
   ElementId checked;
   VECUBE_ASSIGN_OR_RETURN(checked, ElementId::Make(target.codes(), shape_));
-  return ExecuteSolo(target, ops);
+  return ExecuteSolo(target, ops, ctx);
 }
 
 Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
-    const std::vector<ElementId>& targets, OpCounter* ops) {
+    const std::vector<ElementId>& targets, OpCounter* ops,
+    const QueryContext* ctx) {
   if (shape_.ndim() > kMaxAssemblyDims) return TooManyDims();
   for (const ElementId& target : targets) {
     if (target.ndim() != shape_.ndim()) {
@@ -370,7 +394,7 @@ Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
   std::vector<std::optional<Result<Tensor>>> results(count);
   auto run_targets = [&](uint64_t begin, uint64_t end) {
     for (uint64_t i = begin; i < end; ++i) {
-      results[i] = ExecuteShared(targets[i], &cache, &adds);
+      results[i] = ExecuteShared(targets[i], &cache, &adds, ctx);
     }
   };
   if (pool_ != nullptr && pool_->num_threads() > 1 && count > 1) {
@@ -392,11 +416,12 @@ Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
 }
 
 Result<Tensor> AssemblyEngine::AssembleView(uint32_t aggregated_mask,
-                                            OpCounter* ops) {
+                                            OpCounter* ops,
+                                            const QueryContext* ctx) {
   ElementId view;
   VECUBE_ASSIGN_OR_RETURN(view,
                           ElementId::AggregatedView(aggregated_mask, shape_));
-  return Assemble(view, ops);
+  return Assemble(view, ops, ctx);
 }
 
 }  // namespace vecube

@@ -47,6 +47,7 @@
 #include "cube/tensor.h"
 #include "haar/scratch.h"
 #include "haar/transform.h"
+#include "util/query_context.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -79,13 +80,18 @@ class AssemblyEngine {
 
   /// Materializes `target`. Status Incomplete if the stored set cannot
   /// reconstruct it. `ops` (optional) accrues the executed operation
-  /// count, which equals PlanCost(target).
-  Result<Tensor> Assemble(const ElementId& target, OpCounter* ops = nullptr);
+  /// count, which equals PlanCost(target). `ctx` (optional) is polled at
+  /// every plan node and inside the fused cascade loops at tile
+  /// granularity; an expired or cancelled context unwinds the execution
+  /// with kDeadlineExceeded / kCancelled (no partial tensor escapes).
+  Result<Tensor> Assemble(const ElementId& target, OpCounter* ops = nullptr,
+                          const QueryContext* ctx = nullptr);
 
   /// Convenience: the aggregated view for `aggregated_mask` (bit m set =
   /// dimension m totally aggregated).
   Result<Tensor> AssembleView(uint32_t aggregated_mask,
-                              OpCounter* ops = nullptr);
+                              OpCounter* ops = nullptr,
+                              const QueryContext* ctx = nullptr);
 
   /// Multi-query assembly: materializes all targets while sharing every
   /// common sub-result (common descendants are synthesized once, cascade
@@ -96,7 +102,8 @@ class AssemblyEngine {
   /// sub-element so it is still computed exactly once, keeping outputs and
   /// op counts identical to the single-threaded batch.
   Result<std::vector<Tensor>> AssembleBatch(
-      const std::vector<ElementId>& targets, OpCounter* ops = nullptr);
+      const std::vector<ElementId>& targets, OpCounter* ops = nullptr,
+      const QueryContext* ctx = nullptr);
 
   /// Drops all memoized plans (call after the store changes).
   void Invalidate();
@@ -166,11 +173,13 @@ class AssemblyEngine {
   // Single-target execution; no sub-result caching, so the measured ops
   // equal the analytic PlanCost (which also counts shared descendants of a
   // single plan once per use).
-  Result<Tensor> ExecuteSolo(const ElementId& target, OpCounter* ops);
+  Result<Tensor> ExecuteSolo(const ElementId& target, OpCounter* ops,
+                             const QueryContext* ctx);
   // Batch execution against the latched cache. `adds` accrues each
   // computed node's kernel ops exactly once, at the computing thread.
   Result<Tensor> ExecuteShared(const ElementId& target, BatchCache* cache,
-                               std::atomic<uint64_t>* adds);
+                               std::atomic<uint64_t>* adds,
+                               const QueryContext* ctx);
 
   const ElementStore* store_;
   ThreadPool* pool_;

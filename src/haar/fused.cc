@@ -166,7 +166,7 @@ void RunPass(const Pass& p, const double* src, uint64_t src_unit, double* dst,
 
 Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
                                  ThreadPool* pool, ScratchArena* arena,
-                                 uint64_t budget) {
+                                 uint64_t budget, const QueryContext* ctx) {
   Tensor out;
   VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(g.exit_extents));
 
@@ -186,6 +186,12 @@ Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
   double* out_raw = out.raw();
   const HaarVecOps& vec = VecOps();
 
+  // Cooperative cancellation at tile granularity: each worker polls the
+  // context once per (slab, tile) chunk and raises this flag instead of
+  // starting the next chunk. The output tensor is abandoned wholesale on
+  // unwind, so skipped chunks can never surface as partial results.
+  std::atomic<bool> interrupted{false};
+
   // Chunks are disjoint (slab, tile) pairs with disjoint output regions;
   // per-cell association trees depend only on the step sequence, so the
   // result is bit-identical at any chunking.
@@ -203,6 +209,16 @@ Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
       }
     }
     for (uint64_t c = begin; c < end; ++c) {
+      if (ctx != nullptr) {
+        // order: relaxed — a stop hint between sibling workers; nothing
+        // is published through it (the result is discarded on unwind).
+        if (interrupted.load(std::memory_order_relaxed)) return;
+        if (!ctx->Check().ok()) {
+          // order: relaxed — see the load above.
+          interrupted.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
       const uint64_t o = c / tiles;
       const uint64_t j0 = (c % tiles) * tile_width;
       const uint64_t w = std::min(tile_width, inner - j0);
@@ -234,6 +250,15 @@ Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
   } else {
     worker(0, chunks);
   }
+  // order: relaxed — ParallelFor's completion barrier already ordered
+  // every worker's store before this load.
+  if (interrupted.load(std::memory_order_relaxed)) {
+    Status check = ctx->Check();
+    // The flag only rises on a failed check, but re-polling can race a
+    // deadline that has *just* not expired on this clock read; report a
+    // definite status either way.
+    return check.ok() ? Status::Cancelled("cascade interrupted") : check;
+  }
   return out;
 }
 
@@ -242,7 +267,7 @@ Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
 Result<Tensor> CascadeAnalysis(const Tensor& input,
                                const std::vector<CascadeStep>& steps,
                                OpCounter* ops, ThreadPool* pool,
-                               ScratchArena* arena) {
+                               ScratchArena* arena, const QueryContext* ctx) {
   // Validate the whole list up front against the evolving extents,
   // reporting exactly the Status the step-at-a-time kernels would.
   std::vector<uint32_t> extents = input.extents();
@@ -268,6 +293,7 @@ Result<Tensor> CascadeAnalysis(const Tensor& input,
   const Tensor* current = &input;
   Tensor owned;
   for (const Group& g : groups) {
+    if (ctx != nullptr) VECUBE_RETURN_NOT_OK(ctx->Check());
     Tensor next;
     if (g.count == 1) {
       const CascadeStep& step = steps[g.first];
@@ -280,7 +306,7 @@ Result<Tensor> CascadeAnalysis(const Tensor& input,
       }
     } else {
       VECUBE_ASSIGN_OR_RETURN(
-          next, ExecuteFusedGroup(*current, g, pool, arena, budget));
+          next, ExecuteFusedGroup(*current, g, pool, arena, budget, ctx));
     }
     owned = std::move(next);
     current = &owned;
@@ -301,7 +327,7 @@ Result<Tensor> CascadeAnalysis(const Tensor& input,
 
 Result<Tensor> CascadeSum(const Tensor& input, uint32_t dim, uint32_t levels,
                           OpCounter* ops, ThreadPool* pool,
-                          ScratchArena* arena) {
+                          ScratchArena* arena, const QueryContext* ctx) {
   if (dim >= input.ndim()) {
     return Status::InvalidArgument("dimension " + std::to_string(dim) +
                                    " out of range for tensor of rank " +
@@ -309,7 +335,7 @@ Result<Tensor> CascadeSum(const Tensor& input, uint32_t dim, uint32_t levels,
   }
   std::vector<CascadeStep> steps(levels,
                                  CascadeStep{dim, StepKind::kPartial});
-  return CascadeAnalysis(input, steps, ops, pool, arena);
+  return CascadeAnalysis(input, steps, ops, pool, arena, ctx);
 }
 
 }  // namespace vecube

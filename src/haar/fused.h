@@ -38,6 +38,7 @@
 #include "haar/cascade.h"
 #include "haar/scratch.h"
 #include "haar/transform.h"
+#include "util/query_context.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -47,19 +48,24 @@ namespace vecube {
 /// into single passes where the scratch budget allows. Semantically
 /// identical to applying PartialSum / PartialResidual per step (bit-exact
 /// results, identical OpCounter::adds), including the Status returned for
-/// invalid steps. `pool` and `arena` are optional accelerators.
+/// invalid steps. `pool` and `arena` are optional accelerators. `ctx`
+/// (optional) is polled between groups and at (slab, tile) chunk
+/// granularity inside fused groups; an expired/cancelled context unwinds
+/// with its Check() status — results are never partially published.
 Result<Tensor> CascadeAnalysis(const Tensor& input,
                                const std::vector<CascadeStep>& steps,
                                OpCounter* ops = nullptr,
                                ThreadPool* pool = nullptr,
-                               ScratchArena* arena = nullptr);
+                               ScratchArena* arena = nullptr,
+                               const QueryContext* ctx = nullptr);
 
 /// `levels` fused P1 steps along `dim` (the depth-k cascade of Eq. 7).
 /// Requires extent(dim) divisible by 2^levels.
 Result<Tensor> CascadeSum(const Tensor& input, uint32_t dim, uint32_t levels,
                           OpCounter* ops = nullptr,
                           ThreadPool* pool = nullptr,
-                          ScratchArena* arena = nullptr);
+                          ScratchArena* arena = nullptr,
+                          const QueryContext* ctx = nullptr);
 
 namespace internal {
 

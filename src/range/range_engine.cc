@@ -1,10 +1,18 @@
 #include "range/range_engine.h"
 
+#include <optional>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace vecube {
+
+namespace {
+/// Follower retries after leader-local aborts before the abort cause
+/// surfaces (prevents retry livelock on a repeatedly failing leader).
+constexpr uint32_t kMaxFollowerRetries = 3;
+}  // namespace
 
 RangeEngine::RangeEngine(const ElementStore* store,
                          MissingElementPolicy policy, ThreadPool* pool,
@@ -18,7 +26,8 @@ RangeEngine::RangeEngine(const ElementStore* store,
 }
 
 Result<double> RangeEngine::RangeSum(const RangeSpec& range,
-                                     RangeQueryStats* stats) {
+                                     RangeQueryStats* stats,
+                                     const QueryContext& ctx) {
   const CubeShape& shape = store_->shape();
   if (range.ndim() != shape.ndim()) {
     return Status::InvalidArgument("range arity does not match store");
@@ -40,7 +49,9 @@ Result<double> RangeEngine::RangeSum(const RangeSpec& range,
   std::vector<uint32_t> coords(d);
   double total = 0.0;
   uint64_t terms = 0;
+  uint32_t follower_retries = 0;
   for (;;) {
+    VECUBE_RETURN_NOT_OK(ctx.Check());
     for (uint32_t m = 0; m < d; ++m) {
       levels[m] = blocks[m][pick[m]].level;
       coords[m] = blocks[m][pick[m]].index;
@@ -66,15 +77,38 @@ Result<double> RangeEngine::RangeSum(const RangeSpec& range,
           break;
         }
         if (!outcome.fill.leader()) {
-          cached = cache_->WaitFill(outcome.fill);
-          element = cached.get();  // null on abort — retry the lookup
+          ViewCache::FillWait wait = cache_->WaitFill(outcome.fill, ctx);
+          if (wait.status.ok()) {
+            cached = std::move(wait.data);
+            element = cached.get();
+            break;
+          }
+          VECUBE_RETURN_NOT_OK(ctx.Check());  // our own budget ran out
+          // Leader-local aborts are retried a bounded number of times;
+          // the element's own failure — or exhausted retries — surfaces.
+          const bool leader_local = wait.status.IsDeadlineExceeded() ||
+                                    wait.status.IsCancelled() ||
+                                    wait.status.IsUnavailable();
+          if (!leader_local || follower_retries >= kMaxFollowerRetries) {
+            return wait.status;
+          }
+          ++follower_retries;
+          cache_->RecordFollowerRetry();
           continue;
+        }
+        if (std::optional<FailpointAction> fp =
+                Failpoints::HitWithDelay("range.fill");
+            fp.has_value() && fp->kind == FailpointAction::Kind::kError) {
+          Status injected = Status::Internal(
+              "injected fill failure (failpoint range.fill)");
+          cache_->AbortFill(std::move(outcome.fill), injected);
+          return injected;
         }
         if (stats != nullptr) ++stats->elements_missing;
         OpCounter ops;
-        Result<Tensor> data = engine_.Assemble(id, &ops);
+        Result<Tensor> data = engine_.Assemble(id, &ops, &ctx);
         if (!data.ok()) {
-          cache_->AbortFill(std::move(outcome.fill));
+          cache_->AbortFill(std::move(outcome.fill), data.status());
           return data.status();
         }
         if (stats != nullptr) stats->assembly_ops += ops.adds;
@@ -89,7 +123,7 @@ Result<double> RangeEngine::RangeSum(const RangeSpec& range,
       if (stats != nullptr) ++stats->elements_missing;
       OpCounter ops;
       Tensor data;
-      VECUBE_ASSIGN_OR_RETURN(data, engine_.Assemble(id, &ops));
+      VECUBE_ASSIGN_OR_RETURN(data, engine_.Assemble(id, &ops, &ctx));
       if (stats != nullptr) stats->assembly_ops += ops.adds;
       VECUBE_RETURN_NOT_OK(assembled_cache_.Put(id, std::move(data)));
       VECUBE_ASSIGN_OR_RETURN(element, assembled_cache_.Get(id));

@@ -17,6 +17,7 @@
 #include "cube/tensor.h"
 #include "range/range.h"
 #include "serve/view_cache.h"
+#include "util/query_context.h"
 #include "util/result.h"
 
 namespace vecube {
@@ -54,8 +55,12 @@ class RangeEngine {
                        ScratchArena* arena = nullptr);
 
   /// S(G(A)) of Eq. 36 via the dyadic decomposition. `stats` optional.
+  /// `ctx` is polled at every odometer step (and threaded into on-demand
+  /// assemblies and cache waits); expiry or cancellation unwinds the
+  /// query with kDeadlineExceeded / kCancelled.
   Result<double> RangeSum(const RangeSpec& range,
-                          RangeQueryStats* stats = nullptr);
+                          RangeQueryStats* stats = nullptr,
+                          const QueryContext& ctx = QueryContext());
 
  private:
   const ElementStore* store_;

@@ -1,5 +1,7 @@
 #include "select/dynamic.h"
 
+#include <optional>
+
 #include "core/basis.h"
 #include "select/algorithm1.h"
 #include "select/algorithm2.h"
@@ -8,6 +10,12 @@
 #include "workload/population.h"
 
 namespace vecube {
+
+namespace {
+/// Follower retries after leader-local aborts before the abort cause
+/// surfaces (prevents retry livelock on a repeatedly failing leader).
+constexpr uint32_t kMaxFollowerRetries = 3;
+}  // namespace
 
 Result<std::unique_ptr<DynamicAssembler>> DynamicAssembler::Make(
     const CubeShape& shape, const Tensor& cube, DynamicOptions options) {
@@ -32,11 +40,14 @@ DynamicAssembler::~DynamicAssembler() {
   access_log_.Drain();
 }
 
-Result<Tensor> DynamicAssembler::Query(const ElementId& view, OpCounter* ops) {
+Result<Tensor> DynamicAssembler::Query(const ElementId& view, OpCounter* ops,
+                                       const QueryContext& ctx) {
+  VECUBE_RETURN_NOT_OK(ctx.Check());
   Tensor answer;
   if (cache_ == nullptr) {
-    VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(view, ops));
+    VECUBE_ASSIGN_OR_RETURN(answer, engine_->Assemble(view, ops, &ctx));
   } else {
+    uint32_t follower_retries = 0;
     for (;;) {
       ViewCache::LookupOutcome outcome = cache_->LookupOrBegin(view);
       if (outcome.hit) {
@@ -46,15 +57,37 @@ Result<Tensor> DynamicAssembler::Query(const ElementId& view, OpCounter* ops) {
       if (!outcome.fill.leader()) {
         // Another caller is assembling this view; coalesce onto its
         // result instead of duplicating the work.
-        std::shared_ptr<const Tensor> filled =
-            cache_->WaitFill(outcome.fill);
-        if (filled == nullptr) continue;  // leader aborted — retry
-        answer = *filled;
-        break;
+        ViewCache::FillWait wait = cache_->WaitFill(outcome.fill, ctx);
+        if (wait.status.ok()) {
+          answer = *wait.data;
+          break;
+        }
+        VECUBE_RETURN_NOT_OK(ctx.Check());  // our own budget ran out
+        // A leader-local abort (its deadline, its cancellation, an
+        // unspecified abort) is retried a bounded number of times; the
+        // element's own failure — or exhausted retries — propagates, so
+        // a repeatedly failing leader can never spin followers forever.
+        const bool leader_local = wait.status.IsDeadlineExceeded() ||
+                                  wait.status.IsCancelled() ||
+                                  wait.status.IsUnavailable();
+        if (!leader_local || follower_retries >= kMaxFollowerRetries) {
+          return wait.status;
+        }
+        ++follower_retries;
+        cache_->RecordFollowerRetry();
+        continue;
       }
-      Result<Tensor> assembled = engine_->Assemble(view, ops);
+      if (std::optional<FailpointAction> fp =
+              Failpoints::HitWithDelay("dynamic.fill");
+          fp.has_value() && fp->kind == FailpointAction::Kind::kError) {
+        Status injected = Status::Internal(
+            "injected fill failure (failpoint dynamic.fill)");
+        cache_->AbortFill(std::move(outcome.fill), injected);
+        return injected;
+      }
+      Result<Tensor> assembled = engine_->Assemble(view, ops, &ctx);
       if (!assembled.ok()) {
-        cache_->AbortFill(std::move(outcome.fill));
+        cache_->AbortFill(std::move(outcome.fill), assembled.status());
         return assembled.status();
       }
       // PlanCost is memoized from the assembly that just ran — a table

@@ -26,6 +26,7 @@
 #include "cube/shape.h"
 #include "cube/tensor.h"
 #include "serve/view_cache.h"
+#include "util/query_context.h"
 #include "util/result.h"
 
 namespace vecube {
@@ -63,7 +64,12 @@ class DynamicAssembler {
   /// the already-assembled answer: it is recorded in
   /// last_reconfig_error() / reconfiguration_failures() and the answer
   /// is returned; only the assembly itself failing yields an error.
-  Result<Tensor> Query(const ElementId& view, OpCounter* ops = nullptr);
+  /// `ctx` bounds the query: expiry/cancellation unwinds the assembly
+  /// and every wait with kDeadlineExceeded / kCancelled; a leader abort
+  /// for a leader-local cause is retried a bounded number of times, then
+  /// surfaces the cause.
+  Result<Tensor> Query(const ElementId& view, OpCounter* ops = nullptr,
+                       const QueryContext& ctx = QueryContext());
 
   /// Forces reselection against the currently observed distribution.
   /// Instrumented with the "dynamic.reconfigure" failpoint so tests can

@@ -1,0 +1,104 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <string>
+
+namespace vecube {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+}
+
+void AdmissionController::Permit::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    MutexLock lock(mu_);
+    --inflight_;
+  }
+  // All waiters wake: deadlines differ, so the nearest-deadline waiter is
+  // not necessarily the one NotifyOne would pick.
+  cv_.NotifyAll();
+}
+
+Result<AdmissionController::Permit> AdmissionController::Admit(
+    const QueryContext& ctx) {
+  MutexLock lock(mu_);
+  if (shutdown_) {
+    ++rejected_shutdown_;
+    return Status::Unavailable("server shutting down");
+  }
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    ++admitted_;
+    return Permit(this);
+  }
+  if (queued_ >= options_.max_queue) {
+    ++shed_;
+    return Status::ResourceExhausted(
+        "admission queue full; retry after " +
+        std::to_string(options_.retry_after.count()) + "ms");
+  }
+  ++queued_;
+  for (;;) {
+    Status live = ctx.Check();
+    if (!live.ok()) {
+      --queued_;
+      ++deadline_exceeded_;
+      return live;
+    }
+    // Bounded slices: re-check the deadline every 100 ms at worst, so a
+    // waiter can never be parked past its budget (no-unbounded-wait).
+    const QueryContext::Clock::duration slice =
+        std::min<QueryContext::Clock::duration>(
+            std::chrono::milliseconds(100), ctx.remaining());
+    cv_.WaitFor(mu_, slice);
+    if (inflight_ < options_.max_inflight) {
+      --queued_;
+      ++inflight_;
+      ++admitted_;
+      return Permit(this);
+    }
+  }
+}
+
+void AdmissionController::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+bool AdmissionController::Drain(std::chrono::milliseconds timeout) {
+  const QueryContext ctx = QueryContext::WithTimeout(timeout);
+  MutexLock lock(mu_);
+  while (inflight_ != 0 || queued_ != 0) {
+    if (ctx.expired()) return false;
+    const QueryContext::Clock::duration slice =
+        std::min<QueryContext::Clock::duration>(
+            std::chrono::milliseconds(100), ctx.remaining());
+    cv_.WaitFor(mu_, slice);
+  }
+  return true;
+}
+
+AdmissionMetrics AdmissionController::Metrics() const {
+  MutexLock lock(mu_);
+  AdmissionMetrics metrics;
+  metrics.admitted = admitted_;
+  metrics.shed = shed_;
+  metrics.deadline_exceeded = deadline_exceeded_;
+  metrics.rejected_shutdown = rejected_shutdown_;
+  metrics.inflight = inflight_;
+  metrics.queued = queued_;
+  return metrics;
+}
+
+}  // namespace vecube

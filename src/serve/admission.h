@@ -1,0 +1,124 @@
+// AdmissionController: bounded-queue load shedding for the serving stack
+// (DESIGN.md §13).
+//
+// Every query acquires a Permit before touching the assembly engine. At
+// most `max_inflight` permits are outstanding; the next `max_queue`
+// arrivals wait (in bounded timed slices, honoring their own deadlines);
+// anything beyond that is shed immediately with kResourceExhausted and a
+// retry-after hint — the server stays responsive by refusing work it
+// cannot finish in time, instead of queueing unboundedly and missing
+// every deadline at once.
+//
+// Shutdown is graceful: new arrivals are refused with kUnavailable, but
+// already-queued waiters keep their place and are admitted as slots
+// free, so an operator-initiated drain (vecube_cli serve on SIGINT)
+// finishes the work it already accepted.
+
+#ifndef VECUBE_SERVE_ADMISSION_H_
+#define VECUBE_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "util/query_context.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/sync.h"
+
+namespace vecube {
+
+struct AdmissionOptions {
+  /// Queries allowed to execute concurrently.
+  uint32_t max_inflight = 4;
+  /// Queries allowed to wait for a slot; arrivals beyond this are shed.
+  uint32_t max_queue = 16;
+  /// Hint embedded in the kResourceExhausted message of a shed query.
+  std::chrono::milliseconds retry_after{50};
+};
+
+struct AdmissionMetrics {
+  uint64_t admitted = 0;           ///< permits granted
+  uint64_t shed = 0;               ///< refused: queue full
+  uint64_t deadline_exceeded = 0;  ///< gave up waiting for a slot
+  uint64_t rejected_shutdown = 0;  ///< refused: controller shut down
+  uint64_t inflight = 0;           ///< point-in-time outstanding permits
+  uint64_t queued = 0;             ///< point-in-time waiters
+};
+
+/// Thread-safe. One controller fronts one serving endpoint; workers call
+/// Admit() per query and hold the Permit for the query's duration.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII slot: releases on destruction, waking one queued waiter.
+  class Permit {
+   public:
+    Permit() noexcept = default;
+    Permit(Permit&& other) noexcept
+        : controller_(std::exchange(other.controller_, nullptr)) {}
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = std::exchange(other.controller_, nullptr);
+      }
+      return *this;
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Release(); }
+
+    [[nodiscard]] bool valid() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller) noexcept
+        : controller_(controller) {}
+
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Grants a slot, queues for one (bounded timed waits, never past the
+  /// context's deadline), or refuses:
+  ///  * kResourceExhausted — queue full; the message carries the
+  ///    retry-after hint. The caller should answer the client
+  ///    immediately (load shedding).
+  ///  * kDeadlineExceeded / kCancelled — the context gave out while
+  ///    queued; no slot was consumed.
+  ///  * kUnavailable — controller shut down.
+  Result<Permit> Admit(const QueryContext& ctx = QueryContext());
+
+  /// Stops admitting new queries (kUnavailable). Queued waiters keep
+  /// their place and drain normally.
+  void Shutdown();
+
+  /// Blocks (in bounded slices) until no permits are outstanding and the
+  /// queue is empty, or `timeout` elapses. Returns true when drained.
+  /// Call after Shutdown() for a clean stop.
+  bool Drain(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] AdmissionMetrics Metrics() const;
+
+ private:
+  void ReleaseSlot();
+
+  AdmissionOptions options_;  ///< immutable after construction
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool shutdown_ VECUBE_GUARDED_BY(mu_) = false;
+  uint32_t inflight_ VECUBE_GUARDED_BY(mu_) = 0;
+  uint32_t queued_ VECUBE_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ VECUBE_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ VECUBE_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_exceeded_ VECUBE_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_shutdown_ VECUBE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace vecube
+
+#endif  // VECUBE_SERVE_ADMISSION_H_

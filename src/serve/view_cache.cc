@@ -1,6 +1,7 @@
 #include "serve/view_cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <utility>
@@ -44,6 +45,8 @@ struct ViewCache::Flight {
   bool aborted VECUBE_GUARDED_BY(m) = false;
   std::shared_ptr<const Tensor> result VECUBE_GUARDED_BY(m);
   uint64_t assembly_cost VECUBE_GUARDED_BY(m) = 0;
+  /// Why the leader aborted; surfaced to followers via WaitFill.
+  Status error VECUBE_GUARDED_BY(m) = Status::OK();
 };
 
 struct ViewCache::Shard {
@@ -223,7 +226,7 @@ std::shared_ptr<const Tensor> ViewCache::CompleteFill(
   return served;
 }
 
-void ViewCache::AbortFill(FillTicket ticket) {
+void ViewCache::AbortFill(FillTicket ticket, Status cause) {
   if (!ticket.valid() || !ticket.leader()) return;
   Shard& shard = ShardFor(ticket.id_);
   {
@@ -236,20 +239,40 @@ void ViewCache::AbortFill(FillTicket ticket) {
   {
     MutexLock flight_lock(ticket.flight_->m);
     ticket.flight_->aborted = true;
+    ticket.flight_->error =
+        cause.ok() ? Status::Unavailable("fill aborted") : std::move(cause);
     ticket.flight_->done = true;
   }
   ticket.flight_->cv.NotifyAll();
 }
 
-std::shared_ptr<const Tensor> ViewCache::WaitFill(const FillTicket& ticket) {
-  if (!ticket.valid() || ticket.leader()) return nullptr;
+ViewCache::FillWait ViewCache::WaitFill(const FillTicket& ticket,
+                                        const QueryContext& ctx) {
+  if (!ticket.valid() || ticket.leader()) {
+    return FillWait{nullptr,
+                    Status::InvalidArgument("not a follower ticket")};
+  }
   Flight& flight = *ticket.flight_;
   std::shared_ptr<const Tensor> result;
   uint64_t cost = 0;
   {
     MutexLock flight_lock(flight.m);
-    while (!flight.done) flight.cv.Wait(flight.m);
-    if (flight.aborted) return nullptr;
+    while (!flight.done) {
+      Status live = ctx.Check();
+      if (!live.ok()) {
+        // The fill may still be in progress; this follower just cannot
+        // afford to keep waiting for it.
+        return FillWait{nullptr, std::move(live)};
+      }
+      // Bounded slices: re-check the context every 100 ms (or sooner
+      // when the deadline is nearer), so a stuck leader can never park
+      // a follower forever.
+      const QueryContext::Clock::duration slice = std::min<
+          QueryContext::Clock::duration>(std::chrono::milliseconds(100),
+                                         ctx.remaining());
+      flight.cv.WaitFor(flight.m, slice);
+    }
+    if (flight.aborted) return FillWait{nullptr, flight.error};
     result = flight.result;
     cost = flight.assembly_cost;
   }
@@ -260,7 +283,7 @@ std::shared_ptr<const Tensor> ViewCache::WaitFill(const FillTicket& ticket) {
   ++shard.folded_hits;
   ++shard.coalesced_hits;
   shard.folded_ops_saved += cost;
-  return result;
+  return FillWait{std::move(result), Status::OK()};
 }
 
 std::shared_ptr<const Tensor> ViewCache::Insert(const ElementId& id,
@@ -457,6 +480,13 @@ uint64_t ViewCache::InvalidateAll() {
 
 ServeMetrics ViewCache::Metrics() const {
   ServeMetrics metrics;
+  // order: relaxed — point-in-time statistics snapshot (see below).
+  metrics.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  metrics.shed = shed_.load(std::memory_order_relaxed);
+  metrics.degraded = degraded_.load(std::memory_order_relaxed);
+  metrics.follower_retries =
+      follower_retries_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
     // order: relaxed — point-in-time statistics snapshot; a racing

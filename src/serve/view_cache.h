@@ -53,6 +53,8 @@
 #include "core/element_id.h"
 #include "cube/tensor.h"
 #include "util/epoch.h"
+#include "util/query_context.h"
+#include "util/status.h"
 #include "util/sync.h"
 
 namespace vecube {
@@ -106,6 +108,13 @@ struct ServeMetrics {
   /// holds at every concurrency level (each query is exactly one of:
   /// hit, coalesced hit, or leader fill).
   uint64_t assembly_ops_executed = 0;
+
+  // Robustness counters (DESIGN.md §13), recorded by the serving layers
+  // via the Record* hooks below. Cacheless sessions report zeroes.
+  uint64_t deadline_exceeded = 0;  ///< queries that ran out of deadline
+  uint64_t shed = 0;               ///< queries refused by admission control
+  uint64_t degraded = 0;           ///< queries answered approximately
+  uint64_t follower_retries = 0;   ///< WaitFill retries after leader aborts
 
   [[nodiscard]] double HitRate() const {
     const uint64_t total = hits + misses;
@@ -212,14 +221,31 @@ class ViewCache {
   std::shared_ptr<const Tensor> CompleteFill(FillTicket ticket, Tensor data,
                                              uint64_t assembly_cost);
 
-  /// Leader's failure path: wakes followers empty-handed (their WaitFill
-  /// returns null and they retry, typically becoming the next leader).
-  void AbortFill(FillTicket ticket);
+  /// Leader's failure path: wakes followers with `cause` (their WaitFill
+  /// surfaces it; see FillWait). A leader-local cause (kDeadlineExceeded,
+  /// kCancelled) invites followers with budget left to retry and become
+  /// the next leader; any other status is the element's own failure and
+  /// propagates. The default cause marks an unspecified leader failure.
+  void AbortFill(FillTicket ticket,
+                 Status cause = Status::Unavailable("fill aborted"));
 
-  /// Follower wait: blocks until the leader completes or aborts. On
-  /// completion the query is a coalesced hit (credited with the entry's
-  /// assembly cost in ops_saved); returns null on abort — retry.
-  std::shared_ptr<const Tensor> WaitFill(const FillTicket& ticket);
+  /// What a follower's wait resolved to. Exactly one of:
+  ///  * status OK and data set — the leader completed (coalesced hit);
+  ///  * status kDeadlineExceeded/kCancelled from the follower's own
+  ///    context — the wait was cut short, the fill may still be running;
+  ///  * the leader's abort cause — the fill failed (data null).
+  struct FillWait {
+    std::shared_ptr<const Tensor> data;
+    Status status = Status::OK();
+  };
+
+  /// Follower wait: blocks until the leader completes or aborts, or the
+  /// follower's own context expires — every wait is a bounded timed
+  /// slice, never an unconditional block. On completion the query is a
+  /// coalesced hit (credited with the entry's assembly cost in
+  /// ops_saved).
+  FillWait WaitFill(const FillTicket& ticket,
+                    const QueryContext& ctx = QueryContext());
 
   /// Caches `data` for `id` with its Procedure-3 assembly cost and
   /// returns a shared handle to it (also when the entry is too large to
@@ -241,6 +267,25 @@ class ViewCache {
   uint64_t InvalidateAll();
 
   [[nodiscard]] ServeMetrics Metrics() const;
+
+  /// Robustness accounting hooks for the serving layers (the cache is
+  /// the one object every worker shares, so the counters live here).
+  void RecordDeadlineExceeded() {
+    // order: relaxed — standalone event counters; snapshot by Metrics().
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordShed() {
+    // order: relaxed — see RecordDeadlineExceeded.
+    shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordDegraded() {
+    // order: relaxed — see RecordDeadlineExceeded.
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordFollowerRetry() {
+    // order: relaxed — see RecordDeadlineExceeded.
+    follower_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] uint64_t capacity_bytes() const {
     return options_.capacity_bytes;
@@ -293,6 +338,10 @@ class ViewCache {
   ViewCacheOptions options_;  ///< immutable after construction
   uint64_t shard_capacity_bytes_;  ///< immutable after construction
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> follower_retries_{0};
 };
 
 }  // namespace vecube

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <thread>
 
 #include "util/sync.h"
 
@@ -13,6 +15,7 @@ namespace {
 struct Armed {
   FailpointAction action;
   uint64_t skip = 0;
+  uint64_t hits = 1;
 };
 
 struct Registry {
@@ -36,11 +39,13 @@ std::atomic<int> g_active{0};
 }  // namespace
 
 void Failpoints::Arm(const std::string& name, FailpointAction action,
-                     uint64_t skip) {
+                     uint64_t skip, uint64_t hits) {
+  if (hits == 0) hits = 1;
   Registry& registry = GetRegistry();
   MutexLock lock(registry.mu);
-  const bool fresh = registry.armed.emplace(name, Armed{action, skip}).second;
-  if (!fresh) registry.armed[name] = Armed{action, skip};
+  const bool fresh =
+      registry.armed.emplace(name, Armed{action, skip, hits}).second;
+  if (!fresh) registry.armed[name] = Armed{action, skip, hits};
   // order: release — pairs with the acquire load in Hit(); a thread that
   // observes 1 and takes the slow path sees this arming under the mutex.
   g_active.store(1, std::memory_order_release);
@@ -82,11 +87,20 @@ std::optional<FailpointAction> Failpoints::Hit(const std::string& name) {
     return std::nullopt;
   }
   const FailpointAction action = it->second.action;
-  registry.armed.erase(it);  // one-shot
+  if (--it->second.hits == 0) registry.armed.erase(it);  // fired out
   if (registry.armed.empty() && !registry.tracing) {
     // order: release — 0 may lag the erase; fast-path readers re-check
     // under the mutex before trusting it.
     g_active.store(0, std::memory_order_release);
+  }
+  return action;
+}
+
+std::optional<FailpointAction> Failpoints::HitWithDelay(
+    const std::string& name) {
+  std::optional<FailpointAction> action = Hit(name);
+  if (action.has_value() && action->kind == FailpointAction::Kind::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
   }
   return action;
 }

@@ -33,26 +33,35 @@ struct FailpointAction {
     kError,       ///< fail the operation without touching the file
     kShortWrite,  ///< write only `short_bytes` of the buffer, then fail
     kBitFlip,     ///< flip `flip_bit` (mod buffer bits) and keep going
+    kDelay,       ///< stall the caller for `delay_ms` (chaos/latency tests)
   };
   Kind kind = Kind::kError;
   uint64_t short_bytes = 0;  ///< kShortWrite: bytes persisted before failing
   uint64_t flip_bit = 0;     ///< kBitFlip: bit index within the buffer
+  uint64_t delay_ms = 0;     ///< kDelay: stall duration in milliseconds
 };
 
 /// Process-wide failpoint registry. All methods are thread-safe.
 class Failpoints {
  public:
-  /// Arms `name`: the action fires on the (skip+1)-th Hit() and the
-  /// failpoint disarms itself (one-shot). Re-arming replaces any previous
-  /// arming of the same name.
+  /// Arms `name`: the action fires on the (skip+1)-th Hit(), `hits`
+  /// times in a row (default one-shot), then the failpoint disarms
+  /// itself. Re-arming replaces any previous arming of the same name.
   static void Arm(const std::string& name, FailpointAction action,
-                  uint64_t skip = 0);
+                  uint64_t skip = 0, uint64_t hits = 1);
   static void Disarm(const std::string& name);
   static void DisarmAll();
 
   /// Called by instrumented code. Returns the action iff `name` is armed
   /// and its skip count is exhausted. Counts the hit when tracing.
   static std::optional<FailpointAction> Hit(const std::string& name);
+
+  /// Delay-injection helper for the serving chaos tests: Hit(name), and
+  /// if the armed action is kDelay, stall the calling thread for its
+  /// delay_ms before returning it. Non-delay actions are returned
+  /// un-slept for the call site to interpret (e.g. kError -> fail the
+  /// fill). Unarmed cost is identical to Hit(): one relaxed load.
+  static std::optional<FailpointAction> HitWithDelay(const std::string& name);
 
   /// Hit tracing: enables per-name counting so tests can enumerate every
   /// failpoint a code path executes. Counts reset when tracing starts.

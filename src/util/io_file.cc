@@ -89,6 +89,8 @@ Status WritableFile::Append(const void* data, size_t size) {
         offset_ += size;
         return Status::OK();
       }
+      case FailpointAction::Kind::kDelay:
+        break;  // latency injection is a no-op for durability I/O
     }
   }
   if (std::fwrite(data, 1, size, file_) != size) {

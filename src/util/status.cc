@@ -26,6 +26,14 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIncomplete:
       return "Incomplete";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

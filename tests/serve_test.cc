@@ -273,8 +273,8 @@ TEST(ViewCacheTest, ConcurrentMissesCoalesceOntoOneFill) {
       ASSERT_TRUE(outcome.fill.valid());
       ASSERT_FALSE(outcome.fill.leader());
       entered.fetch_add(1);
-      auto filled = cache.WaitFill(outcome.fill);
-      if (filled != nullptr && (*filled)[0] == 6.0) served_ok.fetch_add(1);
+      ViewCache::FillWait wait = cache.WaitFill(outcome.fill);
+      if (wait.status.ok() && (*wait.data)[0] == 6.0) served_ok.fetch_add(1);
     });
   }
   while (entered.load() < kFollowers) std::this_thread::yield();
@@ -307,9 +307,11 @@ TEST(ViewCacheTest, AbortedFillWakesFollowerToBecomeNextLeader) {
     auto outcome = cache.LookupOrBegin(id);
     ASSERT_FALSE(outcome.fill.leader());
     entered.fetch_add(1);
-    // The leader aborts: WaitFill comes back empty and the retry wins
-    // its own leader ticket.
-    EXPECT_EQ(cache.WaitFill(outcome.fill), nullptr);
+    // The leader aborts: WaitFill surfaces the abort cause (no data) and
+    // the retry wins its own leader ticket.
+    ViewCache::FillWait wait = cache.WaitFill(outcome.fill);
+    EXPECT_EQ(wait.data, nullptr);
+    EXPECT_TRUE(wait.status.IsUnavailable()) << wait.status.ToString();
     auto retry = cache.LookupOrBegin(id);
     ASSERT_TRUE(retry.fill.valid());
     ASSERT_TRUE(retry.fill.leader());
@@ -591,7 +593,7 @@ TEST(ServeStressTest, AccountingIdentityHoldsAtEveryThreadCount) {
             auto outcome = cache.LookupOrBegin(ids[pick]);
             if (outcome.hit) break;
             if (!outcome.fill.leader()) {
-              if (cache.WaitFill(outcome.fill) == nullptr) continue;
+              if (!cache.WaitFill(outcome.fill).status.ok()) continue;
               break;
             }
             auto served =

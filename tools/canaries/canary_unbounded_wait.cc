@@ -1,0 +1,36 @@
+// Checker canary: a bare (untimed) CondVar::Wait hidden in a helper
+// that WaitFill calls. A follower parked on it sleeps through its
+// deadline — and through cancellation — until the leader happens to
+// notify; the no-unbounded-wait rule must flag it through call-graph
+// reachability even though WaitFill's own body looks clean. NOT
+// compiled — consumed by tools/vecube_check.py --canaries as a
+// self-test.
+//
+// vecube-check-as: src/serve/view_cache.cc
+// vecube-check-expect: no-unbounded-wait
+
+#include "serve/view_cache.h"
+#include "util/sync.h"
+
+namespace vecube {
+
+namespace {
+
+void ParkUntilReady(ViewCache::Flight* flight) {
+  MutexLock lock(flight->m);
+  while (!flight->completed && !flight->aborted) {
+    flight->cv.Wait(flight->m);  // BUG: unbounded — deadline never polled
+  }
+}
+
+}  // namespace
+
+ViewCache::FillWait ViewCache::WaitFill(const FillTicket& ticket,
+                                        const QueryContext& ctx) {
+  (void)ctx;  // BUG: the context is ignored entirely
+  ParkUntilReady(ticket.flight_.get());  // reaches the bare Wait above
+  FillWait wait;
+  return wait;
+}
+
+}  // namespace vecube

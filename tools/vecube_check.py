@@ -48,6 +48,14 @@ Rules (suppress a single line with ``// vecube-check: disable=<rule>``):
                          fsync, no sleeps — and no second lock (the
                          shard tier is the innermost lock level; see
                          DESIGN.md §12).
+  no-unbounded-wait      No bare ``CondVar::Wait`` may be *reachable*
+                         from the serving path (WaitFill, ExecuteShared,
+                         Admit, the session/dynamic/range query entry
+                         points, ParallelFor): every wait a query can
+                         block on must be a bounded ``WaitFor`` slice so
+                         deadlines and cancellation are always honored
+                         (DESIGN.md §13). Call-graph reachability, like
+                         hit-path-no-locks.
   naked-sync-primitives  src/ outside util/sync.h may not name raw
                          std::mutex / condition_variable / lock_guard /
                          unique_lock / scoped_lock / shared_lock (or
@@ -97,6 +105,7 @@ RULES = (
     "epoch-pin-raii",
     "order-comment",
     "no-blocking-under-shard-lock",
+    "no-unbounded-wait",
     "naked-sync-primitives",
     "detached-threads",
     "escape-hatch-allowlist",
@@ -119,6 +128,26 @@ HIT_PATH_BAN_RE = re.compile(
     r"|(?:\.|->)\s*Wait(?:For)?\s*\("
     r"|\bWaitFill\s*\("
 )
+
+# --- no-unbounded-wait -------------------------------------------------
+# Everywhere a query can block. A bare `.Wait(` reachable from any of
+# these can outlive the query's deadline; only timed `WaitFor` slices
+# (re-checking the QueryContext each wake) are allowed (DESIGN.md §13).
+SERVING_WAIT_ROOTS = (
+    "ViewCache::WaitFill",
+    "AssemblyEngine::ExecuteShared",
+    "AdmissionController::Admit",
+    "AdmissionController::Drain",
+    "OlapSession::Element",
+    "OlapSession::Query",
+    "OlapSession::RangeSum",
+    "DynamicAssembler::Query",
+    "RangeEngine::RangeSum",
+    "ElementServer::Serve",
+    "ThreadPool::ParallelFor",
+)
+# `.Wait(` / `->Wait(` exactly — WaitFor( and WaitFill( do not match.
+UNBOUNDED_WAIT_RE = re.compile(r"(?:\.|->)\s*Wait\s*\(")
 
 # --- epoch-pin-raii ----------------------------------------------------
 EPOCH_PIN_FILES = {
@@ -497,6 +526,23 @@ def check_hit_path(index: FunctionIndex, sources: dict, findings: list):
                     "stay epoch-pinned and lock-free (DESIGN.md §12)"))
 
 
+def check_unbounded_wait(index: FunctionIndex, sources: dict,
+                         findings: list):
+    for fn in index.reachable(SERVING_WAIT_ROOTS):
+        src = sources.get(fn.rel)
+        if src is None:
+            continue
+        for lineno in range(fn.start_line, fn.end_line + 1):
+            if UNBOUNDED_WAIT_RE.search(src.code(lineno)) and \
+                    not src.suppressed(lineno, "no-unbounded-wait"):
+                findings.append(Finding(
+                    fn.rel, lineno, "no-unbounded-wait",
+                    f"bare CondVar::Wait inside {fn.qualname}, which is "
+                    "reachable from the serving path; use a bounded "
+                    "WaitFor slice that re-checks the QueryContext "
+                    "(DESIGN.md §13)"))
+
+
 def check_epoch_pin(src: SourceFile, findings: list):
     if not src.rel.startswith("src/"):
         return
@@ -704,6 +750,7 @@ def run_rules(root: Path, sources: dict, backend: str,
 
     findings: list = []
     check_hit_path(index, sources, findings)
+    check_unbounded_wait(index, sources, findings)
     allowlist = load_allowlist(root)
     for src in sources.values():
         check_epoch_pin(src, findings)

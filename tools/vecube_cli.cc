@@ -25,10 +25,21 @@
 //
 //   vecube_cli serve    --store STORE --workload MASK:FREQ[,MASK:FREQ...]
 //                       --queries N [--cache-mb MB] [--seed S]
+//                       [--threads T] [--deadline-ms D] [--max-inflight M]
+//                       [--allow-degraded]
 //       Replay N view queries sampled from the workload distribution
-//       through the serving cache (src/serve) and dump the full
-//       ServeMetrics block: hits, misses, evictions, resident bytes, and
-//       assembly operations saved versus uncached serving.
+//       through the full serving stack (admission control + per-worker
+//       ElementServer over the shared cache, src/serve) and dump the
+//       ServeMetrics block: hits, misses, evictions, resident bytes,
+//       assembly operations saved versus uncached serving, and the
+//       robustness counters (deadline_exceeded / shed / degraded /
+//       follower_retries). --deadline-ms bounds each query (0 =
+//       unbounded); --max-inflight caps concurrent assembly, shedding
+//       excess arrivals with a retry-after hint; --allow-degraded lets
+//       budget-starved queries answer approximately (with an L2 bound)
+//       instead of failing. SIGINT stops issuing new queries, drains the
+//       admission queue, and still prints the metrics block (clean
+//       shutdown).
 //
 //   vecube_cli fsck     --store STORE [--wal WAL] [--repair] [--out STORE2]
 //       Verify snapshot integrity element by element (v2 checksums) and,
@@ -37,11 +48,16 @@
 //       assembly; --out persists the repaired store. Exit status is 0
 //       when everything is (or was made) healthy, 1 otherwise.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/assembly.h"
@@ -55,13 +71,22 @@
 #include "range/range_engine.h"
 #include "select/algorithm1.h"
 #include "select/algorithm2.h"
+#include "serve/admission.h"
+#include "serve/serving.h"
 #include "serve/view_cache.h"
+#include "util/query_context.h"
 #include "util/rng.h"
 #include "workload/population.h"
 
 namespace {
 
 using vecube::Status;
+
+/// Set by the SIGINT handler; serve workers poll it between queries so
+/// ^C stops issuing new work and the admission queue drains cleanly.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void HandleSigint(int) { g_interrupted = 1; }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -305,30 +330,150 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
       flags.count("seed") ? std::strtoull(flags.at("seed").c_str(), nullptr, 10)
                           : 42;
 
+  const uint64_t threads =
+      flags.count("threads")
+          ? std::strtoull(flags.at("threads").c_str(), nullptr, 10)
+          : 2;
+  const uint64_t deadline_ms =
+      flags.count("deadline-ms")
+          ? std::strtoull(flags.at("deadline-ms").c_str(), nullptr, 10)
+          : 0;  // 0 = unbounded
+  const uint64_t max_inflight =
+      flags.count("max-inflight")
+          ? std::strtoull(flags.at("max-inflight").c_str(), nullptr, 10)
+          : threads;
+  const bool allow_degraded = flags.count("allow-degraded") != 0;
+  if (threads == 0 || max_inflight == 0) {
+    return Fail(Status::InvalidArgument(
+        "--threads and --max-inflight must be > 0"));
+  }
+
   vecube::ViewCacheOptions cache_options;
   cache_options.enabled = true;
   cache_options.capacity_bytes = cache_mb << 20;
   vecube::ViewCache cache(cache_options);
-  vecube::AssemblyEngine engine(&*store);
-  vecube::Rng rng(seed);
+  vecube::AdmissionOptions admission_options;
+  admission_options.max_inflight = static_cast<uint32_t>(max_inflight);
+  vecube::AdmissionController admission(admission_options);
 
+  // ^C anywhere in serve stops issuing new queries; already-admitted
+  // work drains below. Installed before the (potentially long)
+  // pre-sampling phase so an early interrupt also exits gracefully
+  // instead of hard-killing the process.
+  std::signal(SIGINT, HandleSigint);
+
+  // Pre-sample the query sequence so the served traffic is deterministic
+  // for a given seed regardless of thread interleaving. An interrupt
+  // truncates the sequence: only what was sampled can be issued.
+  vecube::Rng rng(seed);
+  std::vector<vecube::ElementId> sequence;
+  sequence.reserve(queries);
+  for (uint64_t q = 0; q < queries && !g_interrupted; ++q) {
+    sequence.push_back(population->Sample(&rng));
+  }
+  const uint64_t issuable = sequence.size();
+  vecube::AssemblyEngine planner(&*store);
   uint64_t baseline_ops = 0;
-  double checksum = 0.0;
-  for (uint64_t q = 0; q < queries; ++q) {
-    const vecube::ElementId& view = population->Sample(&rng);
-    baseline_ops += engine.PlanCost(view);
-    auto hit = cache.Lookup(view);
-    if (hit == nullptr) {
-      auto data = engine.Assemble(view);
-      if (!data.ok()) return Fail(data.status());
-      hit = cache.Insert(view, std::move(data).value(), engine.PlanCost(view));
+  for (const vecube::ElementId& view : sequence) {
+    baseline_ops += planner.PlanCost(view);
+  }
+
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline_failures{0};
+  std::atomic<uint64_t> degraded_served{0};
+  std::vector<double> checksums(threads, 0.0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (uint64_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w]() {
+        vecube::AssemblyEngine engine(&*store);
+        vecube::ServeQueryOptions serve_options;
+        serve_options.allow_degraded = allow_degraded;
+        vecube::ElementServer server(&engine, &*store, &cache,
+                                     serve_options);
+        for (;;) {
+          if (g_interrupted) return;
+          const uint64_t q =
+              next.fetch_add(1, std::memory_order_relaxed);  // order: work
+                                                             // distribution
+                                                             // counter only
+          if (q >= issuable) return;
+          vecube::QueryContext ctx =
+              deadline_ms > 0 ? vecube::QueryContext::WithTimeout(
+                                    std::chrono::milliseconds(deadline_ms))
+                              : vecube::QueryContext();
+          auto permit = admission.Admit(ctx);
+          if (!permit.ok()) {
+            if (permit.status().IsResourceExhausted()) {
+              cache.RecordShed();
+              shed.fetch_add(1, std::memory_order_relaxed);  // order: stat
+            } else if (permit.status().IsDeadlineExceeded() ||
+                       permit.status().IsCancelled()) {
+              cache.RecordDeadlineExceeded();
+              deadline_failures.fetch_add(
+                  1, std::memory_order_relaxed);  // order: stat
+            } else {
+              failed.fetch_add(1, std::memory_order_relaxed);  // order: stat
+            }
+            continue;
+          }
+          auto answer = server.Serve(sequence[q], ctx);
+          if (!answer.ok()) {
+            if (answer.status().IsDeadlineExceeded() ||
+                answer.status().IsCancelled()) {
+              deadline_failures.fetch_add(
+                  1, std::memory_order_relaxed);  // order: stat
+            } else {
+              failed.fetch_add(1, std::memory_order_relaxed);  // order: stat
+            }
+            continue;
+          }
+          if (answer->degraded) {
+            degraded_served.fetch_add(1,
+                                      std::memory_order_relaxed);  // order:
+                                                                   // stat
+          }
+          checksums[w] += answer->data[0];
+          served.fetch_add(1, std::memory_order_relaxed);  // order: stat
+        }
+      });
     }
-    checksum += (*hit)[0];
+    for (std::thread& worker : workers) worker.join();
+  }
+  admission.Shutdown();
+  const bool drained = admission.Drain(std::chrono::milliseconds(2000));
+  std::signal(SIGINT, SIG_DFL);
+
+  double checksum = 0.0;
+  for (double c : checksums) checksum += c;
+  if (failed.load() > 0) {
+    return Fail(Status::Internal(
+        std::to_string(failed.load()) +
+        " queries failed outside the robustness contract"));
   }
 
   const vecube::ServeMetrics metrics = cache.Metrics();
+  if (g_interrupted) {
+    std::printf("interrupted: issued %llu of %llu queries, %s\n",
+                static_cast<unsigned long long>(
+                    std::min(next.load(), issuable)),
+                static_cast<unsigned long long>(queries),
+                drained ? "admission queue drained" : "DRAIN TIMED OUT");
+  }
   std::printf("served %llu queries (checksum %g)\n",
-              static_cast<unsigned long long>(queries), checksum);
+              static_cast<unsigned long long>(served.load()), checksum);
+  std::printf("  deadline_exceeded  %llu\n",
+              static_cast<unsigned long long>(deadline_failures.load()));
+  std::printf("  shed               %llu\n",
+              static_cast<unsigned long long>(shed.load()));
+  std::printf("  degraded           %llu\n",
+              static_cast<unsigned long long>(degraded_served.load()));
+  std::printf("  follower_retries   %llu\n",
+              static_cast<unsigned long long>(metrics.follower_retries));
   std::printf("  hits               %llu\n",
               static_cast<unsigned long long>(metrics.hits));
   std::printf("  misses             %llu\n",
