@@ -62,15 +62,39 @@ struct AssemblyEngine::BatchCache {
 };
 
 AssemblyEngine::AssemblyEngine(const ElementStore* store, ThreadPool* pool,
-                               ScratchArena* arena)
+                               ScratchArena* arena, uint32_t num_shards)
     : store_(store),
       pool_(pool),
       arena_(arena),
+      num_shards_(num_shards != 0
+                      ? num_shards
+                      : (pool != nullptr ? pool->num_threads() : 1)),
       shape_(store->shape()),
       indexer_(shape_) {
   VECUBE_CHECK(store != nullptr);
+  if (num_shards_ > 1) {
+    shard_exec_ = std::make_unique<ThreadedShardExecutor>(pool_);
+  }
   dense_memos_ = indexer_.size() <= kDenseMemoLimit;
   Invalidate();
+}
+
+Result<Tensor> AssemblyEngine::RunCascade(const Tensor& source,
+                                          const std::vector<CascadeStep>& steps,
+                                          OpCounter* ops,
+                                          const QueryContext* ctx) {
+  // Shard only cascades with enough cells to amortize the per-task setup
+  // (same threshold the kernels use for pool fan-out); tiny descents and
+  // degenerate decompositions take the pooled fused path unchanged.
+  if (shard_exec_ != nullptr && !steps.empty() &&
+      source.size() >= kParallelKernelCells) {
+    const ShardPlan plan =
+        ShardPlan::Build(source.extents(), steps, num_shards_);
+    if (plan.parallelism() > 1) {
+      return shard_exec_->Execute(source, plan, ops, ctx);
+    }
+  }
+  return CascadeAnalysis(source, steps, ops, pool_, arena_, ctx);
 }
 
 void AssemblyEngine::Invalidate() {
@@ -237,8 +261,7 @@ Result<Tensor> AssemblyEngine::ExecuteSolo(const ElementId& target,
       const Tensor* data;
       VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
       if (source == target) return *data;
-      return CascadeAnalysis(*data, DescentSteps(source, target), ops, pool_,
-                             arena_, ctx);
+      return RunCascade(*data, DescentSteps(source, target), ops, ctx);
     }
     case Choice::kSynthesize: {
       ElementId p_id, r_id;
@@ -311,8 +334,7 @@ Result<Tensor> AssemblyEngine::ExecuteShared(const ElementId& target,
         const Tensor* data;
         VECUBE_ASSIGN_OR_RETURN(data, store_->Get(source));
         if (source == target) return *data;
-        return CascadeAnalysis(*data, DescentSteps(source, target), &local,
-                               pool_, arena_, ctx);
+        return RunCascade(*data, DescentSteps(source, target), &local, ctx);
       }
       case Choice::kSynthesize: {
         ElementId p_id, r_id;
@@ -392,12 +414,31 @@ Result<std::vector<Tensor>> AssemblyEngine::AssembleBatch(
   std::atomic<uint64_t> adds{0};
   const uint64_t count = targets.size();
   std::vector<std::optional<Result<Tensor>>> results(count);
+
+  // Cost-weighted scheduling: fan targets out largest-Procedure-3-cost
+  // first (plans are already memoized, so PlanCost is a table read). The
+  // grain-1 dynamic claiming then keeps every straggler small instead of
+  // letting a heavyweight target land last on a skewed batch. Order
+  // affects timing only — the latched cache computes each sub-element
+  // once regardless, so results and op totals are scheduling-invariant.
+  std::vector<uint64_t> order(count);
+  for (uint64_t i = 0; i < count; ++i) order[i] = i;
+  const bool fan_out = pool_ != nullptr && pool_->num_threads() > 1 &&
+                       count > 1;
+  if (fan_out) {
+    std::vector<uint64_t> costs(count);
+    for (uint64_t i = 0; i < count; ++i) costs[i] = PlanCost(targets[i]);
+    std::stable_sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+      return costs[a] > costs[b];
+    });
+  }
   auto run_targets = [&](uint64_t begin, uint64_t end) {
     for (uint64_t i = begin; i < end; ++i) {
-      results[i] = ExecuteShared(targets[i], &cache, &adds, ctx);
+      const uint64_t t = order[i];
+      results[t] = ExecuteShared(targets[t], &cache, &adds, ctx);
     }
   };
-  if (pool_ != nullptr && pool_->num_threads() > 1 && count > 1) {
+  if (fan_out) {
     pool_->ParallelFor(count, 1, run_targets);
   } else {
     run_targets(0, count);

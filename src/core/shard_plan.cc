@@ -1,0 +1,455 @@
+#include "core/shard_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "haar/fused.h"
+#include "util/bits.h"
+#include "util/logging.h"
+
+namespace vecube {
+
+// Unqualified so the shard hot path's call graph stays visible to
+// vecube_check's lexer backend (no-shared-scratch-on-shard-path).
+using internal::ExecuteCascadeSerial;
+
+namespace {
+
+std::vector<uint64_t> RowMajorStrides(const std::vector<uint32_t>& extents) {
+  std::vector<uint64_t> strides(extents.size(), 1);
+  for (size_t m = extents.size(); m-- > 1;) {
+    strides[m - 1] = strides[m] * extents[m];
+  }
+  return strides;
+}
+
+uint64_t Volume(const std::vector<uint32_t>& extents) {
+  uint64_t v = 1;
+  for (const uint32_t e : extents) v *= e;
+  return v;
+}
+
+// True iff every `local`-shaped subrectangle of a `global`-shaped
+// row-major tensor is one contiguous run: all dimensions after the first
+// restricted one are full, and nothing iterates before it.
+bool SubrectContiguous(const std::vector<uint32_t>& global,
+                       const std::vector<uint32_t>& local) {
+  size_t first = global.size();
+  for (size_t m = 0; m < global.size(); ++m) {
+    if (local[m] != global[m]) {
+      first = m;
+      break;
+    }
+  }
+  if (first == global.size()) return true;
+  for (size_t m = 0; m < first; ++m) {
+    if (global[m] != 1) return false;
+  }
+  for (size_t m = first + 1; m < global.size(); ++m) {
+    if (local[m] != global[m]) return false;
+  }
+  return true;
+}
+
+// Copies the `local`-shaped subrectangle of `src` at `begin` into packed
+// row-major `dst`. Runs are maximal contiguous spans (trailing full
+// dimensions fold into the innermost restricted one).
+void PackSubrect(const double* src, const std::vector<uint32_t>& src_extents,
+                 const std::vector<uint32_t>& begin,
+                 const std::vector<uint32_t>& local, double* dst) {
+  const std::vector<uint64_t> strides = RowMajorStrides(src_extents);
+  size_t last = 0;  // innermost restricted dimension
+  for (size_t m = 0; m < src_extents.size(); ++m) {
+    if (local[m] != src_extents[m]) last = m;
+  }
+  uint64_t run = local.empty() ? 1 : strides[last] * local[last];
+  uint64_t base = 0;
+  for (size_t m = 0; m < begin.size(); ++m) base += begin[m] * strides[m];
+  // Odometer over the dimensions outside the run.
+  std::vector<uint32_t> idx(last, 0);
+  double* out = dst;
+  for (;;) {
+    uint64_t off = base;
+    for (size_t m = 0; m < last; ++m) off += idx[m] * strides[m];
+    std::copy(src + off, src + off + run, out);
+    out += run;
+    size_t m = last;
+    while (m-- > 0) {
+      if (++idx[m] < local[m]) break;
+      idx[m] = 0;
+      if (m == 0) return;
+    }
+    if (last == 0) return;
+  }
+}
+
+// Inverse of PackSubrect: packed `local`-shaped `src` into the
+// subrectangle of `dst` at `begin`.
+void ScatterSubrect(const double* src, const std::vector<uint32_t>& dst_extents,
+                    const std::vector<uint32_t>& begin,
+                    const std::vector<uint32_t>& local, double* dst) {
+  const std::vector<uint64_t> strides = RowMajorStrides(dst_extents);
+  size_t last = 0;
+  for (size_t m = 0; m < dst_extents.size(); ++m) {
+    if (local[m] != dst_extents[m]) last = m;
+  }
+  const uint64_t run = local.empty() ? 1 : strides[last] * local[last];
+  uint64_t base = 0;
+  for (size_t m = 0; m < begin.size(); ++m) base += begin[m] * strides[m];
+  std::vector<uint32_t> idx(last, 0);
+  const double* in = src;
+  for (;;) {
+    uint64_t off = base;
+    for (size_t m = 0; m < last; ++m) off += idx[m] * strides[m];
+    std::copy(in, in + run, dst + off);
+    in += run;
+    size_t m = last;
+    while (m-- > 0) {
+      if (++idx[m] < local[m]) break;
+      idx[m] = 0;
+      if (m == 0) return;
+    }
+    if (last == 0) return;
+  }
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::Build(const std::vector<uint32_t>& extents,
+                           const std::vector<CascadeStep>& steps,
+                           uint32_t max_shards) {
+  ShardPlan plan;
+  plan.in_extents_ = extents;
+  const size_t nd = extents.size();
+
+  // Apply the steps to a copy: yields the output shape and confirms the
+  // list is valid for this shape (the engine's planner guarantees it; a
+  // failed check just degrades to a single task and the unsharded path).
+  std::vector<uint32_t> cur = extents;
+  bool valid = true;
+  for (const CascadeStep& step : steps) {
+    if (step.dim >= nd || cur[step.dim] < 2 || cur[step.dim] % 2 != 0) {
+      valid = false;
+      break;
+    }
+    cur[step.dim] /= 2;
+  }
+  plan.out_extents_ = valid ? cur : extents;
+
+  bool dyadic = valid && nd > 0;
+  for (const uint32_t e : extents) {
+    if (!IsPowerOfTwo(e)) dyadic = false;
+  }
+
+  uint32_t shards = 1;
+  if (dyadic && !steps.empty() && max_shards > 1) {
+    shards = uint32_t{1} << FloorLog2(max_shards);
+  }
+
+  // Concat splits: greedy outermost-first over the output extents, so a
+  // split confined to dimension 0 keeps subrectangles contiguous.
+  std::vector<uint32_t> split(nd, 1);
+  uint32_t rem = shards;
+  for (size_t m = 0; m < nd && rem > 1; ++m) {
+    split[m] = std::min(rem, plan.out_extents_[m]);
+    rem /= split[m];
+  }
+
+  // Merge split: only along the dimension of the LAST step, and only as
+  // deep as its trailing run — the deferred steps must be a suffix of the
+  // global order or the per-cell association trees would change.
+  uint32_t mstar = 0;
+  uint32_t merge = 1;
+  if (rem > 1) {
+    mstar = steps.back().dim;
+    uint32_t trail = 0;
+    for (auto it = steps.rbegin(); it != steps.rend() && it->dim == mstar;
+         ++it) {
+      ++trail;
+    }
+    // rem > 1 implies every output extent is fully split, so the lane
+    // extent cap along mstar is 2^levels[mstar].
+    const uint32_t lane_cap = extents[mstar] / split[mstar];
+    const uint32_t trail_cap =
+        trail >= 31 ? (uint32_t{1} << 31) : (uint32_t{1} << trail);
+    merge = std::min({rem, trail_cap, lane_cap});
+  }
+  const uint32_t dlev = ExactLog2(merge);
+  plan.merge_levels_ = dlev;
+  plan.merge_kinds_.reserve(dlev);
+  for (uint32_t l = 0; l < dlev; ++l) {
+    plan.merge_kinds_.push_back(steps[steps.size() - dlev + l].kind);
+  }
+  plan.local_steps_.assign(steps.begin(), steps.end() - dlev);
+
+  plan.local_in_extents_.resize(nd);
+  for (size_t m = 0; m < nd; ++m) {
+    plan.local_in_extents_[m] = extents[m] / split[m];
+  }
+  if (merge > 1) plan.local_in_extents_[mstar] /= merge;
+  plan.local_out_extents_ = plan.local_in_extents_;
+  for (const CascadeStep& step : plan.local_steps_) {
+    plan.local_out_extents_[step.dim] /= 2;
+  }
+  plan.local_volume_ = Volume(plan.local_in_extents_);
+  plan.local_out_volume_ = Volume(plan.local_out_extents_);
+  {
+    uint64_t v = plan.local_volume_;
+    for (size_t s = 0; s < plan.local_steps_.size(); ++s) {
+      v /= 2;
+      plan.local_cost_ += v;
+    }
+  }
+
+  uint32_t groups = 1;
+  for (size_t m = 0; m < nd; ++m) groups *= split[m];
+  const uint32_t num_tasks = groups * merge;
+  for (uint32_t l = 0; l < dlev; ++l) {
+    plan.combine_cost_ +=
+        uint64_t{groups} * (merge >> (l + 1)) * plan.local_out_volume_;
+  }
+
+  if (valid) {
+    // The decomposition must book exactly what the unsharded cascade
+    // books — this is the ops-invariance contract shard_test pins.
+    uint64_t global_cost = 0;
+    uint64_t v = Volume(extents);
+    for (size_t s = 0; s < steps.size(); ++s) {
+      v /= 2;
+      global_cost += v;
+    }
+    VECUBE_CHECK(uint64_t{num_tasks} * plan.local_cost_ +
+                     plan.combine_cost_ ==
+                 global_cost)
+        << "shard decomposition does not partition the cascade cost";
+  }
+
+  plan.in_contiguous_ = SubrectContiguous(extents, plan.local_in_extents_);
+  plan.out_contiguous_ =
+      merge == 1 &&
+      SubrectContiguous(plan.out_extents_, plan.local_out_extents_);
+
+  const std::vector<uint64_t> in_strides = RowMajorStrides(extents);
+  const std::vector<uint64_t> out_strides =
+      RowMajorStrides(plan.out_extents_);
+  plan.tasks_.reserve(num_tasks);
+  std::vector<uint32_t> g(nd, 0);
+  for (uint32_t grid = 0; grid < groups; ++grid) {
+    uint32_t idx = grid;
+    for (size_t m = nd; m-- > 0;) {
+      g[m] = idx % split[m];
+      idx /= split[m];
+    }
+    for (uint32_t lane = 0; lane < merge; ++lane) {
+      ShardTask task;
+      task.group = grid;
+      task.lane = lane;
+      task.in_begin.resize(nd);
+      task.out_begin.resize(nd);
+      for (size_t m = 0; m < nd; ++m) {
+        task.in_begin[m] = g[m] * plan.local_in_extents_[m];
+        task.out_begin[m] = g[m] * plan.local_out_extents_[m];
+      }
+      if (merge > 1) {
+        task.in_begin[mstar] =
+            (g[mstar] * merge + lane) * plan.local_in_extents_[mstar];
+      }
+      for (size_t m = 0; m < nd; ++m) {
+        task.in_offset += task.in_begin[m] * in_strides[m];
+        task.out_offset += task.out_begin[m] * out_strides[m];
+      }
+      plan.tasks_.push_back(std::move(task));
+    }
+  }
+  return plan;
+}
+
+ThreadedShardExecutor::ThreadedShardExecutor(ThreadPool* pool) : pool_(pool) {
+  // One lane per pool participant plus one for an external caller; extra
+  // concurrent callers fall back to a transient slab.
+  const uint32_t lanes = (pool_ != nullptr ? pool_->num_threads() : 0) + 1;
+  lanes_.reserve(lanes);
+  for (uint32_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+ShardScratch* ThreadedShardExecutor::ClaimLane(uint32_t* slot) {
+  for (uint32_t i = 0; i < lanes_.size(); ++i) {
+    bool expected = false;
+    // order: acquire — pairs with the release in ReleaseLane so the
+    // lane's slab bookkeeping written by the previous owner is visible.
+    if (lanes_[i]->busy.compare_exchange_strong(expected, true,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed)) {
+      *slot = i;
+      return &lanes_[i]->scratch;
+    }
+  }
+  *slot = kNoLane;
+  return nullptr;
+}
+
+void ThreadedShardExecutor::ReleaseLane(uint32_t slot) {
+  if (slot == kNoLane) return;
+  // order: release — publishes this owner's slab bookkeeping to the next
+  // ClaimLane acquire.
+  lanes_[slot]->busy.store(false, std::memory_order_release);
+}
+
+Status ThreadedShardExecutor::RunTask(const Tensor& source,
+                                      const ShardPlan& plan,
+                                      const ShardTask& task, double* out_raw,
+                                      double* lane_buf, ShardScratch* scratch,
+                                      const QueryContext* ctx) const {
+  // Gather the task's subrectangle — or read the source in place when the
+  // decomposition kept it contiguous (the common dimension-0 split).
+  const double* lane_in;
+  if (plan.in_contiguous()) {
+    lane_in = source.raw() + task.in_offset;
+  } else {
+    double* gathered = scratch->Take(plan.local_volume());
+    PackSubrect(source.raw(), plan.in_extents(), task.in_begin,
+                plan.local_in_extents(), gathered);
+    lane_in = gathered;
+  }
+
+  double* dst;
+  if (plan.merge_levels() > 0) {
+    // Combine lane: results land group-major in the lane buffer; tasks
+    // are enumerated group-major too, so the slot index is the task's
+    // position.
+    const uint64_t slot =
+        (uint64_t{task.group} << plan.merge_levels()) + task.lane;
+    dst = lane_buf + slot * plan.local_out_volume();
+  } else if (plan.out_contiguous()) {
+    dst = out_raw + task.out_offset;
+  } else {
+    dst = scratch->Take(plan.local_out_volume());
+  }
+
+  VECUBE_RETURN_NOT_OK(ExecuteCascadeSerial(lane_in, plan.local_in_extents(),
+                                            plan.local_steps(), dst, scratch,
+                                            ctx));
+
+  if (plan.merge_levels() == 0 && !plan.out_contiguous()) {
+    ScatterSubrect(dst, plan.out_extents(), task.out_begin,
+                   plan.local_out_extents(), out_raw);
+  }
+  return Status::OK();
+}
+
+Result<Tensor> ThreadedShardExecutor::Execute(const Tensor& source,
+                                              const ShardPlan& plan,
+                                              OpCounter* ops,
+                                              const QueryContext* ctx) {
+  if (source.extents() != plan.in_extents()) {
+    return Status::InvalidArgument(
+        "shard plan was built for a different source shape");
+  }
+  Tensor out;
+  VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(plan.out_extents()));
+  double* out_raw = out.raw();
+  const std::vector<ShardTask>& tasks = plan.tasks();
+
+  const uint32_t lanes_per_group = uint32_t{1} << plan.merge_levels();
+  TensorBuffer lane_storage;
+  double* lane_buf = nullptr;
+  if (plan.merge_levels() > 0) {
+    lane_storage.resize(tasks.size() * plan.local_out_volume());
+    lane_buf = lane_storage.data();
+  }
+
+  // First failure wins deterministically: statuses land in per-task slots
+  // (no lock on the shard path) and are scanned in task order after the
+  // fan-in barrier.
+  std::vector<Status> task_status(tasks.size());
+  std::atomic<bool> interrupted{false};
+
+  auto worker = [&](uint64_t begin, uint64_t end) {
+    uint32_t slot = kNoLane;
+    ShardScratch* scratch = ClaimLane(&slot);
+    std::unique_ptr<ShardScratch> transient;
+    if (scratch == nullptr) {
+      transient = std::make_unique<ShardScratch>();
+      scratch = transient.get();
+    }
+    for (uint64_t t = begin; t < end; ++t) {
+      // order: relaxed — a stop hint between sibling workers; nothing is
+      // published through it (the output is abandoned on unwind).
+      if (interrupted.load(std::memory_order_relaxed)) break;
+      scratch->Reset();
+      Status status =
+          RunTask(source, plan, tasks[t], out_raw, lane_buf, scratch, ctx);
+      if (!status.ok()) {
+        task_status[t] = std::move(status);
+        // order: relaxed — see the load above.
+        interrupted.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    ReleaseLane(slot);
+  };
+
+  if (pool_ != nullptr && pool_->num_threads() > 1 && tasks.size() > 1) {
+    pool_->ParallelFor(tasks.size(), 1, worker);
+  } else {
+    worker(0, tasks.size());
+  }
+
+  // order: relaxed — ParallelFor's completion barrier already ordered
+  // every worker's stores before this load.
+  if (interrupted.load(std::memory_order_relaxed)) {
+    for (Status& status : task_status) {
+      if (!status.ok()) return std::move(status);
+    }
+    return Status::Cancelled("shard execution interrupted");
+  }
+
+  // Combine DAG: merge_levels pairwise elementwise levels, front-packed
+  // in place (slot p <- slot 2p ± slot 2p+1; every slot is read at
+  // iteration p/2, before iteration p overwrites it). Lane order is the
+  // coordinate order along the merge dimension, so left = lower
+  // coordinate, exactly the deferred steps' operand order.
+  if (plan.merge_levels() > 0) {
+    const uint64_t cells = plan.local_out_volume();
+    const uint64_t groups = tasks.size() >> plan.merge_levels();
+    uint32_t lanes = lanes_per_group;
+    for (uint32_t l = 0; l < plan.merge_levels(); ++l) {
+      const bool add = plan.merge_kinds()[l] == StepKind::kPartial;
+      const uint32_t half = lanes / 2;
+      for (uint64_t g = 0; g < groups; ++g) {
+        double* base = lane_buf + (g << plan.merge_levels()) * cells;
+        for (uint32_t p = 0; p < half; ++p) {
+          const double* left = base + uint64_t{2} * p * cells;
+          const double* right = left + cells;
+          double* dst = base + uint64_t{p} * cells;
+          if (add) {
+            for (uint64_t i = 0; i < cells; ++i) dst[i] = left[i] + right[i];
+          } else {
+            for (uint64_t i = 0; i < cells; ++i) dst[i] = left[i] - right[i];
+          }
+        }
+      }
+      lanes = half;
+    }
+    for (uint64_t g = 0; g < groups; ++g) {
+      const ShardTask& head = tasks[g << plan.merge_levels()];
+      const double* result = lane_buf + (g << plan.merge_levels()) * cells;
+      if (cells == 1) {
+        out_raw[head.out_offset] = result[0];
+      } else {
+        ScatterSubrect(result, plan.out_extents(), head.out_begin,
+                       plan.local_out_extents(), out_raw);
+      }
+    }
+  }
+
+  // Book the whole cascade analytically on the calling thread: the plan's
+  // partitioned total equals the unsharded total by construction, so
+  // OpCounter stays invariant at every (shards, threads) point.
+  if (ops != nullptr) ops->adds += plan.total_cost();
+  return out;
+}
+
+}  // namespace vecube

@@ -51,7 +51,7 @@ struct Group {
   uint32_t hi = 0;
   uint64_t entry_volume = 1;          // product of entry extents over [lo..hi]
   std::vector<uint32_t> exit_extents;  // full extents after the group
-  std::vector<Pass> passes;            // filled iff count >= 2
+  std::vector<Pass> passes;            // one per step, in order
 };
 
 // Greedy left-to-right grouping: extend the current group while the merged
@@ -85,20 +85,18 @@ std::vector<Group> PlanGroups(std::vector<uint32_t> extents,
       ++g.count;
       ++j;
     }
-    if (g.count >= 2) {
-      for (uint32_t m = g.lo; m <= g.hi; ++m) g.entry_volume *= entry[m];
-      std::vector<uint32_t> mid(entry.begin() + g.lo,
-                                entry.begin() + g.hi + 1);
-      for (size_t s = g.first; s < g.first + g.count; ++s) {
-        const uint32_t q = steps[s].dim - g.lo;
-        Pass p;
-        p.kind = steps[s].kind;
-        p.n = mid[q];
-        for (uint32_t m = 0; m < q; ++m) p.group_outer *= mid[m];
-        for (size_t m = q + 1; m < mid.size(); ++m) p.deeper *= mid[m];
-        g.passes.push_back(p);
-        mid[q] /= 2;
-      }
+    for (uint32_t m = g.lo; m <= g.hi; ++m) g.entry_volume *= entry[m];
+    std::vector<uint32_t> mid(entry.begin() + g.lo,
+                              entry.begin() + g.hi + 1);
+    for (size_t s = g.first; s < g.first + g.count; ++s) {
+      const uint32_t q = steps[s].dim - g.lo;
+      Pass p;
+      p.kind = steps[s].kind;
+      p.n = mid[q];
+      for (uint32_t m = 0; m < q; ++m) p.group_outer *= mid[m];
+      for (size_t m = q + 1; m < mid.size(); ++m) p.deeper *= mid[m];
+      g.passes.push_back(p);
+      mid[q] /= 2;
     }
     g.exit_extents = extents;
     groups.push_back(std::move(g));
@@ -164,23 +162,74 @@ void RunPass(const Pass& p, const double* src, uint64_t src_unit, double* dst,
   }
 }
 
+// Chunk geometry of one group over a tensor with the group's entry
+// extents: (outer slab, inner tile) decomposition, tile width under the
+// scratch budget, and the per-buffer ping-pong size.
+struct GroupGeom {
+  uint64_t outer = 1;
+  uint64_t inner = 1;
+  uint64_t exit_volume = 1;   // window cells after the group
+  uint64_t tile_width = 1;
+  uint64_t tiles = 1;
+  uint64_t chunks = 1;
+  uint64_t scratch_cells = 0;  // per ping buffer
+};
+
+GroupGeom ComputeGeom(const std::vector<uint32_t>& entry_extents,
+                      const Group& g, uint64_t budget) {
+  GroupGeom geo;
+  for (uint32_t m = 0; m < g.lo; ++m) geo.outer *= entry_extents[m];
+  for (size_t m = g.hi + 1; m < entry_extents.size(); ++m) {
+    geo.inner *= entry_extents[m];
+  }
+  geo.exit_volume = g.entry_volume >> g.count;
+  geo.tile_width =
+      std::clamp<uint64_t>(budget / (g.entry_volume / 2), 1, geo.inner);
+  geo.tiles = (geo.inner + geo.tile_width - 1) / geo.tile_width;
+  geo.chunks = geo.outer * geo.tiles;
+  geo.scratch_cells = (g.entry_volume / 2) * geo.tile_width;
+  return geo;
+}
+
+// Runs chunk `c` of group `g`: the whole pass pipeline for one
+// (slab, tile) unit, ping-ponging intermediates through `bufs` (each
+// >= geo.scratch_cells; untouched when the group is single-pass).
+void RunChunk(const Group& g, const GroupGeom& geo, uint64_t c,
+              const double* in_raw, double* out_raw, double* const bufs[2],
+              const HaarVecOps& vec) {
+  const uint64_t o = c / geo.tiles;
+  const uint64_t j0 = (c % geo.tiles) * geo.tile_width;
+  const uint64_t w = std::min(geo.tile_width, geo.inner - j0);
+  const double* src = in_raw + o * g.entry_volume * geo.inner + j0;
+  uint64_t src_unit = geo.inner;
+  double* tensor_dst = out_raw + o * geo.exit_volume * geo.inner + j0;
+  int flip = 0;
+  for (size_t k = 0; k < g.passes.size(); ++k) {
+    double* dst;
+    uint64_t dst_unit;
+    if (k + 1 == g.passes.size()) {
+      dst = tensor_dst;
+      dst_unit = geo.inner;
+    } else {
+      dst = bufs[flip];
+      dst_unit = w;
+      flip ^= 1;
+    }
+    RunPass(g.passes[k], src, src_unit, dst, dst_unit, w, vec);
+    src = dst;
+    src_unit = dst_unit;
+  }
+}
+
 Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
                                  ThreadPool* pool, ScratchArena* arena,
                                  uint64_t budget, const QueryContext* ctx) {
   Tensor out;
   VECUBE_ASSIGN_OR_RETURN(out, Tensor::Uninitialized(g.exit_extents));
 
-  uint64_t outer = 1;
-  for (uint32_t m = 0; m < g.lo; ++m) outer *= in.extent(m);
-  uint64_t inner = 1;
-  for (uint32_t m = g.hi + 1; m < in.ndim(); ++m) inner *= in.extent(m);
-  const uint64_t entry_volume = g.entry_volume;
-  const uint64_t exit_volume = entry_volume >> g.count;
-  const uint64_t tile_width =
-      std::clamp<uint64_t>(budget / (entry_volume / 2), 1, inner);
-  const uint64_t tiles = (inner + tile_width - 1) / tile_width;
-  const uint64_t chunks = outer * tiles;
-  const uint64_t scratch_cells = (entry_volume / 2) * tile_width;
+  const GroupGeom geo = ComputeGeom(in.extents(), g, budget);
+  const uint64_t chunks = geo.chunks;
+  const uint64_t scratch_cells = geo.scratch_cells;
 
   const double* in_raw = in.raw();
   double* out_raw = out.raw();
@@ -219,28 +268,7 @@ Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
           return;
         }
       }
-      const uint64_t o = c / tiles;
-      const uint64_t j0 = (c % tiles) * tile_width;
-      const uint64_t w = std::min(tile_width, inner - j0);
-      const double* src = in_raw + o * entry_volume * inner + j0;
-      uint64_t src_unit = inner;
-      double* tensor_dst = out_raw + o * exit_volume * inner + j0;
-      int flip = 0;
-      for (size_t k = 0; k < g.passes.size(); ++k) {
-        double* dst;
-        uint64_t dst_unit;
-        if (k + 1 == g.passes.size()) {
-          dst = tensor_dst;
-          dst_unit = inner;
-        } else {
-          dst = bufs[flip];
-          dst_unit = w;
-          flip ^= 1;
-        }
-        RunPass(g.passes[k], src, src_unit, dst, dst_unit, w, vec);
-        src = dst;
-        src_unit = dst_unit;
-      }
+      RunChunk(g, geo, c, in_raw, out_raw, bufs, vec);
     }
   };
 
@@ -263,6 +291,64 @@ Result<Tensor> ExecuteFusedGroup(const Tensor& in, const Group& g,
 }
 
 }  // namespace
+
+namespace internal {
+
+Status ExecuteCascadeSerial(const double* in,
+                            const std::vector<uint32_t>& in_extents,
+                            const std::vector<CascadeStep>& steps, double* out,
+                            ShardScratch* scratch, const QueryContext* ctx) {
+  uint64_t volume = 1;
+  for (const uint32_t e : in_extents) volume *= e;
+  if (steps.empty()) {
+    std::copy(in, in + volume, out);
+    return Status::OK();
+  }
+  const uint64_t budget = FusedBudgetCells();
+  const std::vector<Group> groups = PlanGroups(in_extents, steps, budget);
+  const HaarVecOps& vec = VecOps();
+
+  // Size the ping-pong tiles for the largest group up front so every
+  // group shares the same two grants.
+  std::vector<GroupGeom> geoms;
+  geoms.reserve(groups.size());
+  uint64_t max_scratch = 0;
+  std::vector<uint32_t> entry = in_extents;
+  for (const Group& g : groups) {
+    geoms.push_back(ComputeGeom(entry, g, budget));
+    if (g.passes.size() >= 2) {
+      max_scratch = std::max(max_scratch, geoms.back().scratch_cells);
+    }
+    entry = g.exit_extents;
+  }
+  double* bufs[2] = {nullptr, nullptr};
+  if (max_scratch > 0) {
+    bufs[0] = scratch->Take(max_scratch);
+    bufs[1] = scratch->Take(max_scratch);
+  }
+
+  const double* cur = in;
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& g = groups[gi];
+    const GroupGeom& geo = geoms[gi];
+    double* dst;
+    if (gi + 1 == groups.size()) {
+      dst = out;
+    } else {
+      uint64_t exit_cells = 1;
+      for (const uint32_t e : g.exit_extents) exit_cells *= e;
+      dst = scratch->Take(exit_cells);
+    }
+    for (uint64_t c = 0; c < geo.chunks; ++c) {
+      if (ctx != nullptr) VECUBE_RETURN_NOT_OK(ctx->Check());
+      RunChunk(g, geo, c, cur, dst, bufs, vec);
+    }
+    cur = dst;
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
 
 Result<Tensor> CascadeAnalysis(const Tensor& input,
                                const std::vector<CascadeStep>& steps,

@@ -16,10 +16,11 @@ constexpr uint32_t kMaxFollowerRetries = 3;
 
 RangeEngine::RangeEngine(const ElementStore* store,
                          MissingElementPolicy policy, ThreadPool* pool,
-                         ViewCache* cache, ScratchArena* arena)
+                         ViewCache* cache, ScratchArena* arena,
+                         uint32_t num_shards)
     : store_(store),
       policy_(policy),
-      engine_(store, pool, arena),
+      engine_(store, pool, arena, num_shards),
       cache_(cache),
       assembled_cache_(store->shape()) {
   VECUBE_CHECK(store != nullptr);

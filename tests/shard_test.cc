@@ -1,0 +1,549 @@
+// Dyadic shard decomposition (core/shard_plan.h): exhaustive bit-exactness
+// and op-count pinning against the step-at-a-time oracle across (shape,
+// step pattern, shards, threads, dispatch); ShardPlan structural
+// invariants (cost partition, merge legality, coverage); combine-stage
+// stress under concurrent executors (TSan); QueryContext cancellation
+// unwinding mid-shard; ShardScratch ownership semantics; engine-level
+// routing with num_shards.
+
+#include "core/shard_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/assembly.h"
+#include "core/basis.h"
+#include "core/computer.h"
+#include "cube/synthetic.h"
+#include "haar/fused.h"
+#include "haar/simd.h"
+#include "haar/transform.h"
+#include "util/query_context.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace vecube {
+namespace {
+
+// The seed execution model every sharded run must match bit for bit.
+Result<Tensor> UnfusedCascade(const Tensor& input,
+                              const std::vector<CascadeStep>& steps,
+                              OpCounter* ops = nullptr) {
+  Tensor current = input;
+  for (const CascadeStep& step : steps) {
+    Tensor next;
+    if (step.kind == StepKind::kPartial) {
+      VECUBE_ASSIGN_OR_RETURN(next, PartialSum(current, step.dim, ops));
+    } else {
+      VECUBE_ASSIGN_OR_RETURN(next, PartialResidual(current, step.dim, ops));
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+::testing::AssertionResult BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.extents() != b.extents()) {
+    return ::testing::AssertionFailure()
+           << "extents differ: " << a.ShapeString() << " vs "
+           << b.ShapeString();
+  }
+  if (std::memcmp(a.raw(), b.raw(), a.size() * sizeof(double)) != 0) {
+    for (uint64_t i = 0; i < a.size(); ++i) {
+      if (std::memcmp(&a.raw()[i], &b.raw()[i], sizeof(double)) != 0) {
+        return ::testing::AssertionFailure()
+               << "cell " << i << " differs: " << a.raw()[i] << " vs "
+               << b.raw()[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct ForceScalar {
+  ForceScalar() {
+    internal::OverrideVecOpsForTesting(&internal::ScalarVecOps());
+  }
+  ~ForceScalar() { internal::OverrideVecOpsForTesting(nullptr); }
+};
+
+struct BudgetOverride {
+  explicit BudgetOverride(uint64_t cells) {
+    internal::SetFusedBudgetForTesting(cells);
+  }
+  ~BudgetOverride() { internal::SetFusedBudgetForTesting(0); }
+};
+
+Tensor RandomTensor(const std::vector<uint32_t>& extents, uint64_t seed) {
+  auto shape = CubeShape::Make(extents);
+  EXPECT_TRUE(shape.ok());
+  Rng rng(seed);
+  auto cube = UniformIntegerCube(*shape, &rng, -9, 9);
+  EXPECT_TRUE(cube.ok());
+  return std::move(cube).value();
+}
+
+uint64_t AnalyticCost(const Tensor& input,
+                      const std::vector<CascadeStep>& steps) {
+  uint64_t cost = 0;
+  uint64_t volume = input.size();
+  for (size_t s = 0; s < steps.size(); ++s) {
+    volume /= 2;
+    cost += volume;
+  }
+  return cost;
+}
+
+// Step patterns that between them exercise: pure concat splits, pure
+// merge splits, mixed concat+merge, residual kinds inside the deferred
+// suffix, and multi-dimension interleaving.
+struct Pattern {
+  const char* name;
+  std::vector<uint32_t> extents;
+  std::vector<CascadeStep> steps;
+};
+
+std::vector<Pattern> SweepPatterns() {
+  const CascadeStep p0{0, StepKind::kPartial};
+  const CascadeStep p1{1, StepKind::kPartial};
+  const CascadeStep p2{2, StepKind::kPartial};
+  const CascadeStep r0{0, StepKind::kResidual};
+  const CascadeStep r1{1, StepKind::kResidual};
+  const CascadeStep r2{2, StepKind::kResidual};
+  return {
+      // Output stays large: concat splits only.
+      {"concat_only", {8, 8, 4}, {p0, p1}},
+      // Full aggregation: output volume 1, every split is a merge split.
+      {"merge_only_1d", {16}, {p0, p0, p0, p0}},
+      // Full aggregation, multi-dim: merge along the last-stepped dim.
+      {"merge_after_concat", {8, 8}, {p0, p0, p0, p1, p1, p1}},
+      // Residual steps inside the deferred suffix (sign order matters).
+      {"residual_suffix", {4, 8}, {p0, p0, p1, r1, p1}},
+      // Trailing run of length 1 caps the merge depth.
+      {"short_trailing_run", {8, 4, 2}, {p0, p0, p0, p1, p1, p2}},
+      // Residuals everywhere, interleaved dims.
+      {"interleaved_residuals", {8, 4, 4}, {r0, p1, r2, p0, r1, p2}},
+      // Offset-style descent: most-significant residual first per dim.
+      {"descent_like", {16, 8}, {r0, p0, p0, p0, r1, p1, p1}},
+  };
+}
+
+// --- Tentpole: exhaustive bit-exactness + op-pinning sweep --------------
+
+TEST(ShardSweep, BitIdenticalAndOpsPinnedAcrossShardsThreadsDispatch) {
+  for (const Pattern& pat : SweepPatterns()) {
+    SCOPED_TRACE(pat.name);
+    const Tensor input = RandomTensor(pat.extents, 42);
+    OpCounter ref_ops;
+    Tensor ref;
+    {
+      ForceScalar scalar;
+      auto r = UnfusedCascade(input, pat.steps, &ref_ops);
+      ASSERT_TRUE(r.ok());
+      ref = *r;
+    }
+    ASSERT_EQ(ref_ops.adds, AnalyticCost(input, pat.steps));
+
+    for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+      const ShardPlan plan = ShardPlan::Build(input.extents(), pat.steps,
+                                              shards);
+      ASSERT_LE(plan.parallelism(), shards);
+      ASSERT_EQ(plan.total_cost(), ref_ops.adds)
+          << "decomposition must partition the analytic cost";
+      for (const uint32_t threads : {1u, 2u, 4u}) {
+        for (const bool scalar : {false, true}) {
+          SCOPED_TRACE(testing::Message()
+                       << "shards=" << shards << " threads=" << threads
+                       << " scalar=" << scalar);
+          std::optional<ForceScalar> force;
+          if (scalar) force.emplace();
+          ThreadPool pool(threads);
+          ThreadedShardExecutor exec(&pool);
+          OpCounter ops;
+          auto out = exec.Execute(input, plan, &ops, nullptr);
+          ASSERT_TRUE(out.ok()) << out.status().ToString();
+          EXPECT_TRUE(BitIdentical(*out, ref));
+          EXPECT_EQ(ops.adds, ref_ops.adds);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardSweep, TinyFusedBudgetStillBitIdentical) {
+  // A 1-cell budget forces maximal group splitting and windowed tiling
+  // inside every shard's serial cascade.
+  const Pattern pat{"budget", {8, 8}, {CascadeStep{0, StepKind::kPartial},
+                                       CascadeStep{1, StepKind::kResidual},
+                                       CascadeStep{1, StepKind::kPartial}}};
+  const Tensor input = RandomTensor(pat.extents, 7);
+  Tensor ref;
+  {
+    ForceScalar scalar;
+    auto r = UnfusedCascade(input, pat.steps);
+    ASSERT_TRUE(r.ok());
+    ref = *r;
+  }
+  BudgetOverride budget(1);
+  for (const uint32_t shards : {2u, 4u, 8u}) {
+    const ShardPlan plan =
+        ShardPlan::Build(input.extents(), pat.steps, shards);
+    ThreadPool pool(2);
+    ThreadedShardExecutor exec(&pool);
+    auto out = exec.Execute(input, plan, nullptr, nullptr);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(BitIdentical(*out, ref)) << "shards=" << shards;
+  }
+}
+
+// --- ShardPlan structural invariants ------------------------------------
+
+TEST(ShardPlanTest, SingleShardIsIdentityDecomposition) {
+  const std::vector<uint32_t> extents{8, 4};
+  const std::vector<CascadeStep> steps{{0, StepKind::kPartial}};
+  const ShardPlan plan = ShardPlan::Build(extents, steps, 1);
+  EXPECT_EQ(plan.parallelism(), 1u);
+  EXPECT_EQ(plan.merge_levels(), 0u);
+  EXPECT_EQ(plan.local_in_extents(), extents);
+  EXPECT_EQ(plan.local_steps(), steps);
+  EXPECT_TRUE(plan.in_contiguous());
+}
+
+TEST(ShardPlanTest, ShardCountRoundsDownToPowerOfTwo) {
+  const std::vector<uint32_t> extents{16, 16};
+  const std::vector<CascadeStep> steps{{0, StepKind::kPartial}};
+  const ShardPlan plan = ShardPlan::Build(extents, steps, 7);
+  EXPECT_EQ(plan.parallelism(), 4u);
+}
+
+TEST(ShardPlanTest, ConcatSplitsExhaustOutputBeforeMerging) {
+  // Output extents {4, 4}: 8 shards need 8 concat splits <= 16 available,
+  // so no combine stage.
+  const ShardPlan plan = ShardPlan::Build(
+      {8, 8}, {{0, StepKind::kPartial}, {1, StepKind::kPartial}}, 8);
+  EXPECT_EQ(plan.parallelism(), 8u);
+  EXPECT_EQ(plan.merge_levels(), 0u);
+  EXPECT_EQ(plan.local_steps().size(), 2u);
+}
+
+TEST(ShardPlanTest, MergeOnlyAlongLastSteppedDimension) {
+  // Full aggregation of {8, 8} ending in dim-1 steps: merge splits must
+  // defer dim-1 steps only, and the local list is a prefix of the global.
+  const std::vector<CascadeStep> steps{
+      {0, StepKind::kPartial}, {0, StepKind::kPartial},
+      {0, StepKind::kPartial}, {1, StepKind::kPartial},
+      {1, StepKind::kPartial}, {1, StepKind::kResidual}};
+  const ShardPlan plan = ShardPlan::Build({8, 8}, steps, 4);
+  EXPECT_EQ(plan.parallelism(), 4u);
+  EXPECT_EQ(plan.merge_levels(), 2u);
+  ASSERT_EQ(plan.merge_kinds().size(), 2u);
+  EXPECT_EQ(plan.merge_kinds()[0], StepKind::kPartial);
+  EXPECT_EQ(plan.merge_kinds()[1], StepKind::kResidual);
+  ASSERT_EQ(plan.local_steps().size(), steps.size() - 2);
+  for (size_t s = 0; s < plan.local_steps().size(); ++s) {
+    EXPECT_EQ(plan.local_steps()[s], steps[s]);
+  }
+}
+
+TEST(ShardPlanTest, MergeDepthCappedByTrailingRun) {
+  // The last step's dimension has a trailing run of exactly one step, so
+  // at most one merge level is legal no matter how many shards are asked
+  // for (deferring any dim-0 step would reorder the global suffix).
+  const std::vector<CascadeStep> steps{{0, StepKind::kPartial},
+                                       {0, StepKind::kPartial},
+                                       {0, StepKind::kPartial},
+                                       {1, StepKind::kPartial}};
+  const ShardPlan plan = ShardPlan::Build({8, 2}, steps, 8);
+  EXPECT_LE(plan.merge_levels(), 1u);
+  EXPECT_EQ(plan.parallelism(), 2u);
+}
+
+TEST(ShardPlanTest, TasksTileTheSourceDisjointly) {
+  const std::vector<CascadeStep> steps{{0, StepKind::kPartial},
+                                       {1, StepKind::kPartial},
+                                       {1, StepKind::kPartial}};
+  const ShardPlan plan = ShardPlan::Build({8, 8, 4}, steps, 8);
+  ASSERT_GT(plan.parallelism(), 1u);
+  // Every source cell is covered by exactly one task subrectangle.
+  std::set<uint64_t> covered;
+  const std::vector<uint32_t>& local = plan.local_in_extents();
+  for (const ShardTask& task : plan.tasks()) {
+    std::vector<uint32_t> idx(local.size(), 0);
+    for (;;) {
+      uint64_t flat = 0;
+      for (size_t m = 0; m < local.size(); ++m) {
+        flat = flat * plan.in_extents()[m] + task.in_begin[m] + idx[m];
+      }
+      EXPECT_TRUE(covered.insert(flat).second) << "overlap at " << flat;
+      size_t m = local.size();
+      bool done = true;
+      while (m-- > 0) {
+        if (++idx[m] < local[m]) {
+          done = false;
+          break;
+        }
+        idx[m] = 0;
+      }
+      if (done) break;
+    }
+  }
+  uint64_t volume = 1;
+  for (const uint32_t e : plan.in_extents()) volume *= e;
+  EXPECT_EQ(covered.size(), volume);
+}
+
+TEST(ShardPlanTest, NonDyadicShapeDegradesToSingleTask) {
+  const ShardPlan plan =
+      ShardPlan::Build({6, 4}, {{1, StepKind::kPartial}}, 8);
+  EXPECT_EQ(plan.parallelism(), 1u);
+}
+
+TEST(ShardPlanTest, CostPartitionHoldsAcrossShardCounts) {
+  const Tensor input = RandomTensor({16, 8, 4}, 3);
+  const std::vector<CascadeStep> steps{
+      {0, StepKind::kPartial}, {0, StepKind::kPartial},
+      {1, StepKind::kResidual}, {2, StepKind::kPartial},
+      {2, StepKind::kPartial}};
+  const uint64_t analytic = AnalyticCost(input, steps);
+  for (const uint32_t shards : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    const ShardPlan plan = ShardPlan::Build(input.extents(), steps, shards);
+    EXPECT_EQ(plan.total_cost(), analytic) << "shards=" << shards;
+  }
+}
+
+// --- ShardScratch -------------------------------------------------------
+
+TEST(ShardScratchTest, GrantsAreAlignedDisjointAndReusedAfterReset) {
+  ShardScratch scratch;
+  double* a = scratch.Take(100);
+  double* b = scratch.Take(1000);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  // Disjoint grants: writing one must not disturb the other.
+  for (int i = 0; i < 100; ++i) a[i] = 1.0;
+  for (int i = 0; i < 1000; ++i) b[i] = 2.0;
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a[i], 1.0);
+  const uint64_t capacity = scratch.capacity_cells();
+  scratch.Reset();
+  (void)scratch.Take(100);
+  (void)scratch.Take(1000);
+  EXPECT_EQ(scratch.capacity_cells(), capacity)
+      << "same-shape reuse must not allocate";
+}
+
+// --- Combine-stage stress (run under TSan in CI) ------------------------
+
+TEST(ShardStressTest, ConcurrentExecutorsShareLanesSafely) {
+  // Merge-heavy plan: full aggregation so every shard funnels into the
+  // combine DAG, exercising lane claiming, per-lane scratch, and the
+  // lane-buffer handoff under concurrent Execute() calls on ONE executor.
+  const Tensor input = RandomTensor({16, 16}, 9);
+  std::vector<CascadeStep> steps;
+  for (int s = 0; s < 4; ++s) steps.push_back({0, StepKind::kPartial});
+  for (int s = 0; s < 4; ++s) steps.push_back({1, StepKind::kPartial});
+  const ShardPlan plan = ShardPlan::Build(input.extents(), steps, 8);
+  ASSERT_GT(plan.merge_levels(), 0u);
+
+  Tensor ref;
+  {
+    auto r = UnfusedCascade(input, steps);
+    ASSERT_TRUE(r.ok());
+    ref = *r;
+  }
+
+  ThreadPool pool(4);
+  ThreadedShardExecutor exec(&pool);
+  constexpr int kCallers = 4;
+  constexpr int kReps = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        OpCounter ops;
+        auto out = exec.Execute(input, plan, &ops, nullptr);
+        if (!out.ok() || !BitIdentical(*out, ref) ||
+            ops.adds != plan.total_cost()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Cancellation unwinding ---------------------------------------------
+
+TEST(ShardCancelTest, PreCancelledContextUnwindsWithoutResult) {
+  const Tensor input = RandomTensor({16, 16, 8}, 5);
+  std::vector<CascadeStep> steps;
+  for (int s = 0; s < 4; ++s) steps.push_back({0, StepKind::kPartial});
+  const ShardPlan plan = ShardPlan::Build(input.extents(), steps, 4);
+  ThreadPool pool(2);
+  ThreadedShardExecutor exec(&pool);
+  const QueryContext ctx = QueryContext::Cancellable();
+  ctx.RequestCancel();
+  auto out = exec.Execute(input, plan, nullptr, &ctx);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ShardCancelTest, MidFlightCancellationUnwindsEveryLane) {
+  // Race a cancel against a running sharded cascade, across enough
+  // repetitions to land inside shard execution at various depths. Every
+  // outcome must be either a complete bit-exact result or a clean
+  // cancellation — never a crash, hang, or partial tensor.
+  const Tensor input = RandomTensor({32, 16, 8}, 6);
+  std::vector<CascadeStep> steps;
+  for (int s = 0; s < 5; ++s) steps.push_back({0, StepKind::kPartial});
+  for (int s = 0; s < 2; ++s) steps.push_back({1, StepKind::kResidual});
+  const ShardPlan plan = ShardPlan::Build(input.extents(), steps, 8);
+  Tensor ref;
+  {
+    auto r = UnfusedCascade(input, steps);
+    ASSERT_TRUE(r.ok());
+    ref = *r;
+  }
+  ThreadPool pool(4);
+  ThreadedShardExecutor exec(&pool);
+  // A 64-cell budget makes chunks (the poll granularity) plentiful.
+  BudgetOverride budget(64);
+  for (int rep = 0; rep < 20; ++rep) {
+    const QueryContext ctx = QueryContext::Cancellable();
+    std::thread canceller([&] { ctx.RequestCancel(); });
+    auto out = exec.Execute(input, plan, nullptr, &ctx);
+    canceller.join();
+    if (out.ok()) {
+      EXPECT_TRUE(BitIdentical(*out, ref));
+    } else {
+      EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+    }
+  }
+}
+
+TEST(ShardCancelTest, ExpiredDeadlinePropagatesThroughEngine) {
+  Rng rng(8);
+  auto shape = CubeShape::Make({16, 16, 8, 8});
+  ASSERT_TRUE(shape.ok());
+  auto cube = UniformIntegerCube(*shape, &rng, -9, 9);
+  ASSERT_TRUE(cube.ok());
+  ElementComputer computer(*shape, &*cube);
+  auto store = computer.Materialize(CubeOnlySet(*shape));
+  ASSERT_TRUE(store.ok());
+  ThreadPool pool(4);
+  AssemblyEngine engine(&*store, &pool, nullptr, 4);
+  const QueryContext ctx =
+      QueryContext::WithDeadline(QueryContext::Clock::now() -
+                                 std::chrono::milliseconds(1));
+  auto out = engine.AssembleView(0b1111, nullptr, &ctx);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// --- Engine-level routing -----------------------------------------------
+
+class ShardedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto shape = CubeShape::Make({16, 16, 8, 8});  // 2^14 cells: shardable
+    ASSERT_TRUE(shape.ok());
+    shape_ = *shape;
+    Rng rng(21);
+    auto cube = UniformIntegerCube(shape_, &rng, -9, 9);
+    ASSERT_TRUE(cube.ok());
+    auto store = ElementComputer(shape_, &*cube).Materialize(
+        CubeOnlySet(shape_));
+    ASSERT_TRUE(store.ok());
+    store_.emplace(std::move(*store));
+  }
+
+  CubeShape shape_;
+  std::optional<ElementStore> store_;
+};
+
+TEST_F(ShardedEngineTest, AssembleBitExactAndOpsInvariantAcrossShards) {
+  // Serial single-shard reference.
+  AssemblyEngine reference(&*store_);
+  std::vector<ElementId> views;
+  std::vector<Tensor> ref_out;
+  std::vector<uint64_t> ref_ops;
+  for (uint32_t mask = 1; mask < 16; mask += 5) {  // 1, 6, 11 — mixed arity
+    auto view = ElementId::AggregatedView(mask, shape_);
+    ASSERT_TRUE(view.ok());
+    views.push_back(*view);
+    OpCounter ops;
+    auto out = reference.Assemble(*view, &ops);
+    ASSERT_TRUE(out.ok());
+    ref_out.push_back(std::move(*out));
+    ref_ops.push_back(ops.adds);
+  }
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (const uint32_t threads : {1u, 2u, 4u}) {
+      ThreadPool pool(threads);
+      AssemblyEngine engine(&*store_, &pool, nullptr, shards);
+      EXPECT_EQ(engine.num_shards(), shards);
+      for (size_t v = 0; v < views.size(); ++v) {
+        OpCounter ops;
+        auto out = engine.Assemble(views[v], &ops);
+        ASSERT_TRUE(out.ok());
+        EXPECT_TRUE(BitIdentical(*out, ref_out[v]))
+            << "shards=" << shards << " threads=" << threads << " view=" << v;
+        EXPECT_EQ(ops.adds, ref_ops[v]);
+      }
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, BatchOpsInvariantAcrossShardsAndThreads) {
+  std::vector<ElementId> targets;
+  for (uint32_t mask = 0; mask < 16; ++mask) {
+    auto view = ElementId::AggregatedView(mask, shape_);
+    ASSERT_TRUE(view.ok());
+    targets.push_back(*view);
+  }
+  AssemblyEngine reference(&*store_);
+  OpCounter ref_ops;
+  auto ref = reference.AssembleBatch(targets, &ref_ops);
+  ASSERT_TRUE(ref.ok());
+
+  for (const uint32_t shards : {1u, 4u}) {
+    for (const uint32_t threads : {2u, 4u}) {
+      ThreadPool pool(threads);
+      AssemblyEngine engine(&*store_, &pool, nullptr, shards);
+      OpCounter ops;
+      auto out = engine.AssembleBatch(targets, &ops);
+      ASSERT_TRUE(out.ok());
+      ASSERT_EQ(out->size(), ref->size());
+      for (size_t i = 0; i < ref->size(); ++i) {
+        EXPECT_TRUE(BitIdentical((*out)[i], (*ref)[i]))
+            << "shards=" << shards << " threads=" << threads << " i=" << i;
+      }
+      // The cost-sorted, shard-decomposed batch must book exactly the
+      // serial batch's shared-work total.
+      EXPECT_EQ(ops.adds, ref_ops.adds)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ShardedEngineTest, DefaultShardBudgetTracksPoolSize) {
+  ThreadPool pool(4);
+  AssemblyEngine engine(&*store_, &pool, nullptr, 0);
+  EXPECT_EQ(engine.num_shards(), 4u);
+  AssemblyEngine serial(&*store_);
+  EXPECT_EQ(serial.num_shards(), 1u);
+}
+
+}  // namespace
+}  // namespace vecube

@@ -1,0 +1,42 @@
+// Checker canary: the shard hot path reaching back into the shared,
+// mutex-protected ScratchArena through a helper. RunTask's own body
+// looks clean — the arena acquisition hides one call away, which is
+// exactly what call-graph reachability must catch: a shard task that
+// serializes on the global arena defeats the decomposition's whole
+// contention model (DESIGN.md §14). NOT compiled — consumed by
+// tools/vecube_check.py --canaries as a self-test.
+//
+// vecube-check-as: src/core/shard_plan.cc
+// vecube-check-expect: no-shared-scratch-on-shard-path
+
+#include "core/shard_plan.h"
+#include "haar/scratch.h"
+
+namespace vecube {
+
+namespace {
+
+double* BorrowGlobalScratch(uint64_t cells) {
+  static ScratchArena shared_arena;  // BUG: shared arena on the shard path
+  return shared_arena.Acquire(cells).data();
+}
+
+}  // namespace
+
+Status ThreadedShardExecutor::RunTask(const Tensor& source,
+                                      const ShardPlan& plan,
+                                      const ShardTask& task, double* out_raw,
+                                      double* lane_buf, ShardScratch* scratch,
+                                      const QueryContext* ctx) const {
+  double* gather = BorrowGlobalScratch(plan.local_volume());  // reaches it
+  (void)source;
+  (void)task;
+  (void)out_raw;
+  (void)lane_buf;
+  (void)scratch;
+  (void)ctx;
+  (void)gather;
+  return Status::OK();
+}
+
+}  // namespace vecube
